@@ -1,0 +1,71 @@
+// Using a custom MBR library: how the available bit-widths, incomplete-MBR
+// cells and drive variants shape what composition can do (Secs. 3 and 4.1).
+//
+// The same generated design is composed against three libraries:
+//   (a) pairs only       -- widths {1, 2}
+//   (b) the default      -- widths {1, 2, 4, 8}
+//   (c) odd-width rich   -- widths {1, 2, 3, 4, 8}
+// More widths mean more valid clique sizes, so deeper merging.
+#include <iostream>
+
+#include "benchgen/generator.hpp"
+#include "mbr/flow.hpp"
+#include "util/table.hpp"
+
+using namespace mbrc;
+
+int main() {
+  util::Table table({"library widths", "cells", "total regs", "merged",
+                     "incomplete", "clock cap (fF)", "register save"});
+
+  const std::vector<std::pair<std::string, lib::DefaultLibraryOptions>> setups =
+      [] {
+        std::vector<std::pair<std::string, lib::DefaultLibraryOptions>> v;
+        lib::DefaultLibraryOptions pairs;
+        pairs.widths = {1, 2};
+        v.emplace_back("{1,2}", pairs);
+        v.emplace_back("{1,2,4,8}", lib::DefaultLibraryOptions{});
+        lib::DefaultLibraryOptions odd;
+        odd.include_width_3 = true;
+        v.emplace_back("{1,2,3,4,8}", odd);
+        return v;
+      }();
+
+  for (const auto& [label, lib_options] : setups) {
+    const lib::Library library = lib::make_default_library(lib_options);
+
+    benchgen::DesignProfile profile;
+    profile.register_cells = 1200;
+    profile.comb_per_register = 5.0;
+    profile.seed = 99;
+    // The generator needs widths that exist in this library.
+    profile.width_mix = {{1, 0.7}, {2, 0.3}};
+
+    benchgen::GeneratedDesign generated =
+        benchgen::generate_design(library, profile);
+
+    mbr::FlowOptions options;
+    options.timing.clock_period = generated.calibrated_clock_period;
+    const mbr::FlowResult result =
+        mbr::run_composition_flow(generated.design, options);
+
+    table.row()
+        .cell(label)
+        .cell(result.after.design.cells)
+        .cell(result.after.design.total_registers)
+        .cell(result.registers_merged)
+        .cell(result.incomplete_mbrs)
+        .cell(result.after.clock_cap, 0)
+        .percent(1.0 -
+                 static_cast<double>(result.after.design.total_registers) /
+                     static_cast<double>(result.before.design.total_registers));
+  }
+
+  std::cout << "=== Composition vs library richness ===\n\n";
+  table.print(std::cout);
+  std::cout << "\nWider libraries admit more clique sizes (Sec. 3), so more "
+               "registers merge\nand the clock capacitance falls further; "
+               "3-bit cells absorb odd-sized runs\nthat otherwise need "
+               "incomplete 4-bit cells.\n";
+  return 0;
+}

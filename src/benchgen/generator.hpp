@@ -1,0 +1,83 @@
+// Synthetic benchmark generator.
+//
+// The paper evaluates on five 28 nm industrial designs (D1..D5) that are
+// rich in MBRs after logic synthesis. Those netlists are proprietary, so
+// this module synthesizes placed designs that reproduce their *relative*
+// structure (see DESIGN.md, substitutions):
+//   - registers arrive in localized clusters of functionally compatible
+//     cells (same clock/gating/control nets, same scan partition), the way
+//     register banks and datapath registers appear in real floorplans;
+//   - a configurable initial MBR width mix (D4 is 8-bit rich, so composition
+//     has little left to do there -- the paper calls this out);
+//   - random combinational cones between register stages, giving a realistic
+//     slack distribution; the clock period is auto-calibrated so a target
+//     fraction of endpoints fails (the paper reports ~38%);
+//   - scan chains with partitions and some ordered sections, stitched
+//     geometrically;
+//   - designer constraints: a fraction of registers is fixed / size-only.
+//
+// Everything is seeded and deterministic.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lib/library.hpp"
+#include "netlist/design.hpp"
+
+namespace mbrc::benchgen {
+
+struct DesignProfile {
+  std::string name = "D";
+  std::uint64_t seed = 1;
+
+  int register_cells = 3000;       // register instances (each MBR counts 1)
+  /// Initial width mix: width -> fraction of register cells.
+  std::map<int, double> width_mix = {{1, 0.55}, {2, 0.25}, {4, 0.15}, {8, 0.05}};
+  double comb_per_register = 8.0;  // combinational cells per register cell
+
+  int clusters_per_1000_regs = 80;  // register clusters (compatibility pockets)
+  double cluster_radius = 7.0;       // um, register spread inside a cluster (banks abut)
+
+  int clock_domains = 1;
+  int gating_groups = 6;     // clock-gating enable conditions per domain
+  int scan_partitions = 4;
+  double ordered_section_fraction = 0.10;  // registers with scan-order locks
+  int registers_per_section = 6;
+
+  double fixed_fraction = 0.06;      // dont_touch registers
+  double size_only_fraction = 0.05;  // resizable but not composable
+
+  double core_utilization = 0.62;
+  double core_aspect = 1.0;
+
+  /// Fraction of timing endpoints that should fail after calibration.
+  double failing_endpoint_fraction = 0.38;
+  /// Logic depth is bimodal, as in real designs: most clusters are shallow
+  /// (comfortable slack), a critical minority is deep (these produce the
+  /// failing endpoints). Shallow depth is 1 + geometric(p), capped.
+  double cone_extend_probability = 0.45;
+  int max_shallow_depth = 4;
+  double deep_cluster_fraction = 0.30;
+  int deep_depth_min = 7;
+  int deep_depth_max = 10;
+  /// Probability that a D pin taps an existing comb output (reconvergence).
+  double fanout_reuse_probability = 0.12;
+};
+
+/// The five standard profiles mirroring Table 1's relative characteristics
+/// at roughly 1/10 scale.
+std::vector<DesignProfile> standard_profiles();
+
+struct GeneratedDesign {
+  netlist::Design design;
+  double calibrated_clock_period = 0.0;  // ns, hits the failing fraction
+};
+
+/// Synthesizes a placed design per `profile`. `library` must outlive the
+/// returned design.
+GeneratedDesign generate_design(const lib::Library& library,
+                                const DesignProfile& profile);
+
+}  // namespace mbrc::benchgen

@@ -1,0 +1,44 @@
+// 2-D point in placement coordinates (microns).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace mbrc::geom {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double k) const { return {x * k, y * k}; }
+};
+
+/// Manhattan (L1) distance; the distance metric used for timing-feasible
+/// placement regions and wire-length estimates.
+inline double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Euclidean distance; used only for clustering geometry (K-partitioning).
+inline double euclidean(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// z-component of the cross product (b - a) x (c - a). Positive when the
+/// turn a->b->c is counter-clockwise.
+constexpr double cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+}  // namespace mbrc::geom

@@ -1,0 +1,97 @@
+// Axis-aligned rectangle. Used for cell footprints, timing-feasible regions
+// and net bounding boxes. An "empty" rect (lo > hi on either axis) represents
+// an infeasible/void region.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "geom/point.hpp"
+
+namespace mbrc::geom {
+
+struct Rect {
+  double xlo = 0.0;
+  double ylo = 0.0;
+  double xhi = 0.0;
+  double yhi = 0.0;
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  static constexpr Rect around(const Point& center, double half_w,
+                               double half_h) {
+    return {center.x - half_w, center.y - half_h, center.x + half_w,
+            center.y + half_h};
+  }
+
+  /// A rect that behaves as the identity under intersect().
+  static constexpr Rect universe() {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    return {-inf, -inf, inf, inf};
+  }
+
+  /// A rect that behaves as the identity under unite().
+  static constexpr Rect empty() {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    return {inf, inf, -inf, -inf};
+  }
+
+  constexpr bool is_empty() const { return xlo > xhi || ylo > yhi; }
+
+  constexpr double width() const { return is_empty() ? 0.0 : xhi - xlo; }
+  constexpr double height() const { return is_empty() ? 0.0 : yhi - ylo; }
+  constexpr double area() const { return width() * height(); }
+  constexpr Point center() const { return {(xlo + xhi) / 2, (ylo + yhi) / 2}; }
+  constexpr double half_perimeter() const { return width() + height(); }
+
+  constexpr bool contains(const Point& p) const {
+    return !is_empty() && p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+
+  /// True when `p` is strictly inside (not on the boundary).
+  constexpr bool contains_strict(const Point& p) const {
+    return !is_empty() && p.x > xlo && p.x < xhi && p.y > ylo && p.y < yhi;
+  }
+
+  constexpr bool overlaps(const Rect& o) const {
+    return !is_empty() && !o.is_empty() && xlo <= o.xhi && o.xlo <= xhi &&
+           ylo <= o.yhi && o.ylo <= yhi;
+  }
+
+  constexpr Rect intersect(const Rect& o) const {
+    return {std::max(xlo, o.xlo), std::max(ylo, o.ylo), std::min(xhi, o.xhi),
+            std::min(yhi, o.yhi)};
+  }
+
+  constexpr Rect unite(const Rect& o) const {
+    if (is_empty()) return o;
+    if (o.is_empty()) return *this;
+    return {std::min(xlo, o.xlo), std::min(ylo, o.ylo), std::max(xhi, o.xhi),
+            std::max(yhi, o.yhi)};
+  }
+
+  /// Grows the rect by `d` on every side (shrinks when d < 0).
+  constexpr Rect inflate(double d) const {
+    return {xlo - d, ylo - d, xhi + d, yhi + d};
+  }
+
+  /// Expands the rect to cover `p`.
+  constexpr Rect expand(const Point& p) const {
+    if (is_empty()) return {p.x, p.y, p.x, p.y};
+    return {std::min(xlo, p.x), std::min(ylo, p.y), std::max(xhi, p.x),
+            std::max(yhi, p.y)};
+  }
+
+  /// Closest point of the rect to `p` (p itself when contained).
+  constexpr Point clamp(const Point& p) const {
+    return {std::clamp(p.x, xlo, xhi), std::clamp(p.y, ylo, yhi)};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.xlo << ", " << r.ylo << " .. " << r.xhi << ", "
+            << r.yhi << ']';
+}
+
+}  // namespace mbrc::geom

@@ -1,0 +1,188 @@
+#include "ilp/set_partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mbrc::ilp {
+
+namespace {
+
+// Fixed-capacity bitset over 64-bit words sized at runtime.
+class Bits {
+public:
+  explicit Bits(int bit_count)
+      : words_((bit_count + 63) / 64, 0), bit_count_(bit_count) {}
+
+  void set(int i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  bool test(int i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  bool intersects(const Bits& o) const {
+    for (std::size_t w = 0; w < words_.size(); ++w)
+      if (words_[w] & o.words_[w]) return true;
+    return false;
+  }
+  void or_with(const Bits& o) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+  }
+  void and_not(const Bits& o) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~o.words_[w];
+  }
+  bool all_set() const {
+    int remaining = bit_count_;
+    for (std::uint64_t w : words_) {
+      const int take = std::min(remaining, 64);
+      const std::uint64_t mask =
+          take == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << take) - 1);
+      if ((w & mask) != mask) return false;
+      remaining -= take;
+    }
+    return true;
+  }
+
+private:
+  std::vector<std::uint64_t> words_;
+  int bit_count_ = 0;
+};
+
+struct Search {
+  const SetPartitionProblem& problem;
+  const SetPartitionOptions& options;
+
+  std::vector<Bits> candidate_bits;          // element mask per candidate
+  std::vector<std::vector<int>> covering;    // per element: candidate ids by weight
+  std::vector<double> min_ratio;             // per element: min w/|cover|
+
+  Bits covered;
+  std::vector<int> chosen;
+  double cost = 0.0;
+  double bound_remaining = 0.0;  // sum of min_ratio over uncovered elements
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<int> best_chosen;
+  std::int64_t nodes = 0;
+  bool budget_hit = false;
+
+  Search(const SetPartitionProblem& p, const SetPartitionOptions& o)
+      : problem(p), options(o), covered(p.element_count) {
+    const int n = p.element_count;
+    covering.resize(n);
+    min_ratio.assign(n, std::numeric_limits<double>::infinity());
+    candidate_bits.reserve(p.candidates.size());
+    for (std::size_t c = 0; c < p.candidates.size(); ++c) {
+      const auto& cand = p.candidates[c];
+      Bits bits(n);
+      for (int e : cand.elements) {
+        MBRC_ASSERT_MSG(e >= 0 && e < n, "element id out of range");
+        MBRC_ASSERT_MSG(!bits.test(e), "duplicate element in candidate");
+        bits.set(e);
+      }
+      candidate_bits.push_back(std::move(bits));
+      if (cand.elements.empty()) continue;
+      const double ratio =
+          cand.weight / static_cast<double>(cand.elements.size());
+      for (int e : cand.elements) {
+        covering[e].push_back(static_cast<int>(c));
+        min_ratio[e] = std::min(min_ratio[e], ratio);
+      }
+    }
+    for (int e = 0; e < n; ++e) {
+      std::sort(covering[e].begin(), covering[e].end(), [&](int a, int b) {
+        return p.candidates[a].weight < p.candidates[b].weight;
+      });
+      if (!covering[e].empty()) bound_remaining += min_ratio[e];
+    }
+  }
+
+  // The uncovered element with the fewest candidates that are still placeable
+  // (no overlap with covered). Returns -1 when everything is covered, -2 when
+  // some uncovered element has no placeable candidate (dead end).
+  int pick_element() const {
+    int best = -1;
+    int best_count = std::numeric_limits<int>::max();
+    for (int e = 0; e < problem.element_count; ++e) {
+      if (covered.test(e)) continue;
+      int count = 0;
+      for (int c : covering[e]) {
+        if (!candidate_bits[c].intersects(covered)) {
+          ++count;
+          if (count >= best_count) break;
+        }
+      }
+      if (count == 0) return -2;
+      if (count < best_count) {
+        best_count = count;
+        best = e;
+      }
+    }
+    return best;
+  }
+
+  void run() {
+    if (budget_hit) return;
+    if (++nodes > options.max_nodes) {
+      budget_hit = true;
+      return;
+    }
+    if (cost + bound_remaining >= best_cost) return;  // bound prune
+
+    const int element = pick_element();
+    if (element == -2) return;  // uncoverable
+    if (element == -1) {
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_chosen = chosen;
+      }
+      return;
+    }
+
+    for (int c : covering[element]) {
+      const auto& cand = problem.candidates[c];
+      if (candidate_bits[c].intersects(covered)) continue;
+      // Apply.
+      covered.or_with(candidate_bits[c]);
+      chosen.push_back(c);
+      cost += cand.weight;
+      double removed_bound = 0.0;
+      for (int e : cand.elements) removed_bound += min_ratio[e];
+      bound_remaining -= removed_bound;
+
+      run();
+
+      // Undo.
+      bound_remaining += removed_bound;
+      cost -= cand.weight;
+      chosen.pop_back();
+      covered.and_not(candidate_bits[c]);
+      if (budget_hit) return;
+    }
+  }
+};
+
+}  // namespace
+
+SetPartitionResult solve_set_partition(const SetPartitionProblem& problem,
+                                       const SetPartitionOptions& options) {
+  SetPartitionResult result;
+  if (problem.element_count == 0) {
+    result.feasible = true;
+    return result;
+  }
+  Search search(problem, options);
+  // Quick infeasibility check: every element needs at least one candidate.
+  for (int e = 0; e < problem.element_count; ++e) {
+    if (search.covering[e].empty()) return result;
+  }
+  search.run();
+  result.nodes_explored = search.nodes;
+  if (search.best_cost == std::numeric_limits<double>::infinity()) return result;
+  result.feasible = true;
+  result.objective = search.best_cost;
+  result.chosen = std::move(search.best_chosen);
+  std::sort(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+}  // namespace mbrc::ilp

@@ -1,0 +1,99 @@
+// Linear-program model description shared by the LP (simplex) and ILP
+// (branch & bound) solvers.
+//
+// The model is a plain builder: variables with bounds and objective
+// coefficients, plus linear constraints. Variables may be marked integer;
+// the simplex solver ignores integrality (it solves the relaxation), the
+// branch & bound solver enforces it.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mbrc::lp {
+
+enum class Sense { kMinimize, kMaximize };
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct Term {
+  int variable = 0;
+  double coefficient = 0.0;
+};
+
+struct Constraint {
+  std::vector<Term> terms;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+struct Variable {
+  std::string name;
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;
+  bool is_integer = false;
+};
+
+class Model {
+public:
+  /// Adds a variable and returns its index.
+  int add_variable(std::string name, double lower, double upper,
+                   double objective, bool is_integer = false) {
+    MBRC_ASSERT_MSG(lower <= upper, "variable bounds crossed: " + name);
+    variables_.push_back(
+        {std::move(name), lower, upper, objective, is_integer});
+    return static_cast<int>(variables_.size()) - 1;
+  }
+
+  /// Adds a binary {0,1} variable.
+  int add_binary(std::string name, double objective) {
+    return add_variable(std::move(name), 0.0, 1.0, objective, true);
+  }
+
+  /// Adds a continuous variable, unbounded below and above by default.
+  int add_continuous(std::string name, double objective = 0.0,
+                     double lower = -kInfinity, double upper = kInfinity) {
+    return add_variable(std::move(name), lower, upper, objective, false);
+  }
+
+  void add_constraint(std::vector<Term> terms, Relation relation, double rhs) {
+    for (const Term& t : terms)
+      MBRC_ASSERT_MSG(t.variable >= 0 && t.variable < variable_count(),
+                      "constraint references unknown variable");
+    constraints_.push_back({std::move(terms), relation, rhs});
+  }
+
+  void set_sense(Sense sense) { sense_ = sense; }
+  Sense sense() const { return sense_; }
+
+  int variable_count() const { return static_cast<int>(variables_.size()); }
+  int constraint_count() const { return static_cast<int>(constraints_.size()); }
+
+  const Variable& variable(int i) const { return variables_[i]; }
+  Variable& variable(int i) { return variables_[i]; }
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// Objective value of an assignment (no feasibility check).
+  double objective_value(const std::vector<double>& x) const {
+    MBRC_ASSERT(static_cast<int>(x.size()) == variable_count());
+    double v = 0.0;
+    for (int i = 0; i < variable_count(); ++i) v += variables_[i].objective * x[i];
+    return v;
+  }
+
+  /// Checks an assignment against bounds and constraints within `tol`.
+  bool is_feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+private:
+  Sense sense_ = Sense::kMinimize;
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace mbrc::lp

@@ -1,0 +1,109 @@
+// Candidate MBR enumeration and the placement-aware weights (Sec. 3, 3.2).
+//
+// A candidate is a clique of the compatibility subgraph whose total bit
+// count either equals an available library width (complete MBR) or lies
+// below one (incomplete MBR, allowed when its area-per-physical-bit is below
+// the average area-per-bit of the registers it replaces). Candidates whose
+// members have no common timing-feasible region are rejected -- pairwise
+// region overlap does not imply a shared spot for the merged cell.
+//
+// Weights (Sec. 3.2): with b = connected bits and n = number of other
+// composable registers whose center falls strictly inside the convex hull of
+// the member footprint corners,
+//      w = 1/b          when n == 0        (clean: bigger is better)
+//      w = b * 2^n      when 0 < n < b     (blocked: smaller/cleaner wins)
+//      w = infinity     when n >= b        (dropped)
+//
+// Note on enumeration strategy: the paper runs Bron-Kerbosch and then
+// enumerates valid sub-cliques of each maximal clique with dynamic
+// programming. Because every valid candidate has at most max-library-width
+// members, we enumerate the valid cliques directly with a bounded DFS over
+// the (<= 30-node) subgraph; the resulting candidate *set* is identical and
+// no deduplication across overlapping maximal cliques is needed (a property
+// test in tests/candidates_test.cpp checks the equivalence).
+#pragma once
+
+#include <vector>
+
+#include "mbr/cliques.hpp"
+#include "mbr/compatibility.hpp"
+
+namespace mbrc::mbr {
+
+struct EnumerationOptions {
+  bool allow_incomplete = true;
+  /// Flow-level area rule applied eagerly (Sec. 5): an incomplete MBR may
+  /// cost at most this fraction more area than the registers it replaces.
+  /// Checking it here keeps the ILP from selecting candidates the mapper
+  /// would reject anyway (the mapper re-checks with the actual cell).
+  double incomplete_area_overhead = 0.05;
+  /// Ablation hook: false assigns every candidate weight 1 so the ILP
+  /// minimizes the raw register count with no placement awareness.
+  bool use_weights = true;
+  /// Hard cap on candidates per subgraph (deterministic truncation guard;
+  /// effectively never reached with the 30-node bound).
+  std::size_t max_candidates_per_subgraph = 200'000;
+};
+
+struct Candidate {
+  std::vector<int> nodes;   // graph node indices, ascending
+  int bits = 0;             // connected D/Q bit pairs
+  int mapped_width = 0;     // library width (> bits for incomplete MBRs)
+  int blockers = 0;         // n_i of Sec. 3.2
+  double weight = 0.0;      // w_i of Sec. 3.2
+  bool needs_per_bit_scan = false;
+  geom::Rect common_region; // intersection of member feasible regions
+
+  bool is_incomplete() const { return mapped_width > bits; }
+  bool is_singleton() const { return nodes.size() == 1; }
+};
+
+struct EnumerationResult {
+  std::vector<Candidate> candidates;
+  bool truncated = false;
+};
+
+/// Sec. 3.2 weight formula. `blockers >= bits` yields +infinity.
+double candidate_weight(int bits, int blockers);
+
+/// Spatial index over the composable-register centers, used to count the
+/// blocking registers of a candidate's convex hull.
+class BlockerIndex {
+public:
+  BlockerIndex(const CompatibilityGraph& graph, double bin_size = 25.0);
+
+  /// Registers (graph nodes) whose center lies strictly inside the convex
+  /// hull of the members' footprint corners, excluding the members
+  /// themselves. `members` must be sorted.
+  int count_blockers(const CompatibilityGraph& graph,
+                     const std::vector<int>& members) const;
+
+private:
+  struct Entry {
+    geom::Point center;
+    int node;
+  };
+  double bin_size_;
+  std::unordered_map<std::int64_t, std::vector<Entry>> bins_;
+
+  std::int64_t key(double x, double y) const;
+};
+
+/// Derives whether the member set can use an internal-scan MBR or requires
+/// per-bit scan pins (ordered-section rules of Sec. 2). Returns false for
+/// non-scan members.
+bool candidate_needs_per_bit_scan(const CompatibilityGraph& graph,
+                                  const std::vector<int>& members);
+
+/// Enumerates all valid candidates of one subgraph (node indices into
+/// `graph`, at most 64). Singleton keep-as-is candidates are always
+/// included, so the downstream set-partitioning ILP is always feasible.
+/// Only the library is needed (valid widths, incomplete-MBR area rule), so
+/// hand-built graphs (e.g. the paper's worked example) work too.
+EnumerationResult enumerate_candidates(const CompatibilityGraph& graph,
+                                       const lib::Library& library,
+                                       const BlockerIndex& blockers,
+                                       const std::vector<int>& subgraph,
+                                       const EnumerationOptions& options = {});
+
+}  // namespace mbrc::mbr

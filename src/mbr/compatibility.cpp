@@ -1,0 +1,222 @@
+#include "mbr/compatibility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace mbrc::mbr {
+
+bool CompatibilityGraph::has_edge(int a, int b) const {
+  const auto& adj = adjacency_[a];
+  return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+std::int64_t CompatibilityGraph::edge_count() const {
+  std::int64_t total = 0;
+  for (const auto& adj : adjacency_) total += static_cast<std::int64_t>(adj.size());
+  return total / 2;
+}
+
+int CompatibilityGraph::add_node(RegisterInfo info) {
+  nodes_.push_back(std::move(info));
+  adjacency_.emplace_back();
+  return node_count() - 1;
+}
+
+void CompatibilityGraph::add_edge(int a, int b) {
+  MBRC_ASSERT(a != b && a >= 0 && b >= 0 && a < node_count() &&
+              b < node_count());
+  auto insert_sorted = [](std::vector<int>& v, int x) {
+    const auto it = std::lower_bound(v.begin(), v.end(), x);
+    if (it == v.end() || *it != x) v.insert(it, x);
+  };
+  insert_sorted(adjacency_[a], b);
+  insert_sorted(adjacency_[b], a);
+}
+
+std::vector<std::vector<int>> CompatibilityGraph::connected_components() const {
+  std::vector<int> component(node_count(), -1);
+  std::vector<std::vector<int>> components;
+  std::vector<int> stack;
+  for (int start = 0; start < node_count(); ++start) {
+    if (component[start] >= 0) continue;
+    const int id = static_cast<int>(components.size());
+    components.emplace_back();
+    stack.push_back(start);
+    component[start] = id;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      components[id].push_back(v);
+      for (int u : adjacency_[v]) {
+        if (component[u] < 0) {
+          component[u] = id;
+          stack.push_back(u);
+        }
+      }
+    }
+    std::sort(components[id].begin(), components[id].end());
+  }
+  return components;
+}
+
+bool is_composable(const netlist::Design& design, netlist::CellId cell_id) {
+  const netlist::Cell& cell = design.cell(cell_id);
+  if (cell.dead || cell.kind != netlist::CellKind::kRegister) return false;
+  if (cell.fixed || cell.size_only) return false;
+  if (!design.register_clock_net(cell_id).valid()) return false;
+  const auto widths = design.library().available_widths(cell.reg->function);
+  if (widths.empty()) return false;
+  // A register already at the widest library MBR of its class cannot grow.
+  return cell.reg->bits < widths.back();
+}
+
+namespace {
+
+netlist::NetId control_net(const netlist::Design& design, netlist::CellId cell,
+                           netlist::PinRole role) {
+  const netlist::PinId pin = design.register_control_pin(cell, role);
+  return pin.valid() ? design.pin(pin).net : netlist::NetId{};
+}
+
+double clamp_slack(double slack, const CompatibilityOptions& options) {
+  if (slack == sta::kNoRequired) return options.slack_clamp;
+  return std::clamp(slack, -options.slack_clamp, options.slack_clamp);
+}
+
+}  // namespace
+
+RegisterInfo make_register_info(const netlist::Design& design,
+                                const sta::TimingReport& timing,
+                                netlist::CellId cell_id,
+                                const CompatibilityOptions& options) {
+  const netlist::Cell& cell = design.cell(cell_id);
+  MBRC_ASSERT(cell.kind == netlist::CellKind::kRegister);
+  RegisterInfo info;
+  info.cell = cell_id;
+  info.lib_cell = cell.reg;
+  info.bits = cell.reg->bits;
+  info.footprint = cell.footprint();
+  info.region = sta::timing_feasible_region(design, timing, cell_id,
+                                            options.region);
+  info.d_slack = clamp_slack(timing.register_d_slack(design, cell_id), options);
+  info.q_slack = clamp_slack(timing.register_q_slack(design, cell_id), options);
+  info.drive_resistance = cell.reg->drive_resistance;
+  info.clock_net = design.register_clock_net(cell_id);
+  info.gating_group = cell.gating_group;
+  info.reset_net = control_net(design, cell_id, netlist::PinRole::kReset);
+  info.set_net = control_net(design, cell_id, netlist::PinRole::kSet);
+  info.enable_net = control_net(design, cell_id, netlist::PinRole::kEnable);
+  info.scan_enable_net =
+      control_net(design, cell_id, netlist::PinRole::kScanEnable);
+  info.scan = cell.scan;
+  return info;
+}
+
+bool functionally_compatible(const RegisterInfo& a, const RegisterInfo& b) {
+  return a.lib_cell->function == b.lib_cell->function &&
+         a.clock_net == b.clock_net && a.gating_group == b.gating_group &&
+         a.reset_net == b.reset_net && a.set_net == b.set_net &&
+         a.enable_net == b.enable_net &&
+         a.scan_enable_net == b.scan_enable_net;
+}
+
+bool scan_compatible(const RegisterInfo& a, const RegisterInfo& b) {
+  // Registers may only share an MBR when they are allowed on the same scan
+  // chain, i.e. belong to the same scan partition (Sec. 2). Whether an
+  // ordered section additionally forces per-bit scan pins is decided per
+  // candidate, where the full member set is known.
+  return a.scan.partition == b.scan.partition;
+}
+
+bool placement_compatible(const RegisterInfo& a, const RegisterInfo& b,
+                          const CompatibilityOptions& options) {
+  if (geom::manhattan(a.center(), b.center()) > options.max_distance)
+    return false;
+  return a.region.overlaps(b.region);
+}
+
+bool timing_compatible(const RegisterInfo& a, const RegisterInfo& b,
+                       const CompatibilityOptions& options) {
+  // Opposite D/Q slack-sign profiles pull the useful-skew assignment of the
+  // merged MBR in opposite directions (Sec. 2): a negative-D register wants
+  // a later clock, a negative-Q register an earlier one.
+  const double eps = options.sign_epsilon;
+  const auto wants_later = [&](const RegisterInfo& r) {
+    return r.d_slack < -eps && r.q_slack > eps;
+  };
+  const auto wants_earlier = [&](const RegisterInfo& r) {
+    return r.q_slack < -eps && r.d_slack > eps;
+  };
+  if ((wants_later(a) && wants_earlier(b)) ||
+      (wants_earlier(a) && wants_later(b)))
+    return false;
+
+  // Similar criticality on both sides.
+  return std::abs(a.d_slack - b.d_slack) <= options.slack_similarity &&
+         std::abs(a.q_slack - b.q_slack) <= options.slack_similarity;
+}
+
+CompatibilityGraph build_compatibility_graph(
+    const netlist::Design& design, const sta::TimingReport& timing,
+    const CompatibilityOptions& options) {
+  CompatibilityGraph graph;
+  for (netlist::CellId cell : design.registers()) {
+    if (!is_composable(design, cell)) continue;
+    graph.add_node(make_register_info(design, timing, cell, options));
+  }
+
+  // Functional compatibility is an equivalence: group first, then do the
+  // geometric/timing pair checks only within a group, with a spatial grid
+  // to avoid the O(n^2) blowup on large designs.
+  using Key = std::tuple<unsigned, std::int32_t, int, std::int32_t,
+                         std::int32_t, std::int32_t, std::int32_t, int>;
+  std::map<Key, std::vector<int>> groups;
+  for (int i = 0; i < graph.node_count(); ++i) {
+    const RegisterInfo& n = graph.node(i);
+    groups[Key{n.lib_cell->function.encode(), n.clock_net.index,
+               n.gating_group, n.reset_net.index, n.set_net.index,
+               n.enable_net.index, n.scan_enable_net.index,
+               n.scan.partition}]
+        .push_back(i);
+  }
+
+  const double bin = std::max(1.0, options.max_distance);
+  for (const auto& [key, members] : groups) {
+    // Spatial hash: bin by center; candidate pairs live in the 3x3 block.
+    std::unordered_map<std::int64_t, std::vector<int>> bins;
+    auto bin_key = [&](const geom::Point& p) {
+      const auto bx = static_cast<std::int64_t>(std::floor(p.x / bin));
+      const auto by = static_cast<std::int64_t>(std::floor(p.y / bin));
+      return (bx << 32) ^ (by & 0xffffffff);
+    };
+    for (int i : members) bins[bin_key(graph.node(i).center())].push_back(i);
+
+    for (int i : members) {
+      const RegisterInfo& a = graph.node(i);
+      const geom::Point c = a.center();
+      for (int dx = -1; dx <= 1; ++dx) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          const geom::Point probe{c.x + dx * bin, c.y + dy * bin};
+          const auto it = bins.find(bin_key(probe));
+          if (it == bins.end()) continue;
+          for (int j : it->second) {
+            if (j <= i) continue;  // each unordered pair once
+            const RegisterInfo& b = graph.node(j);
+            if (!placement_compatible(a, b, options)) continue;
+            if (!timing_compatible(a, b, options)) continue;
+            MBRC_ASSERT(functionally_compatible(a, b) && scan_compatible(a, b));
+            graph.add_edge(i, j);
+          }
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace mbrc::mbr

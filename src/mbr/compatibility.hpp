@@ -1,0 +1,113 @@
+// Register compatibility rules and the compatibility graph (Sec. 2).
+//
+// Nodes are the *composable* registers of the design: not fixed/size-only,
+// clocked, with a larger functionally-equivalent MBR available in the
+// library. An edge connects two registers that are pairwise compatible in
+// all four senses:
+//   functional: same function signature, same clock net, same clock-gating
+//               group, identical control nets (reset/set/enable/scan-enable);
+//   scan:       same scan partition (ordered-section details are handled at
+//               candidate granularity, where the per-bit-scan requirement is
+//               derived);
+//   placement:  timing-feasible regions overlap (plus a distance pre-filter);
+//   timing:     same D/Q slack signs (no opposite useful-skew pull) and
+//               similar slack magnitudes.
+#pragma once
+
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "netlist/design.hpp"
+#include "sta/feasible_region.hpp"
+#include "sta/sta.hpp"
+
+namespace mbrc::mbr {
+
+struct CompatibilityOptions {
+  /// Max |slack_a - slack_b| on the D side and on the Q side (ns). Sec. 2:
+  /// registers of very different criticality must not merge.
+  double slack_similarity = 0.20;
+  /// Slacks are clamped to +/- this before sign/similarity checks, so a
+  /// hugely positive slack does not block merging with a modest one.
+  double slack_clamp = 0.40;
+  /// Treat slacks within +/- this of zero as sign-neutral when enforcing the
+  /// "no opposite D/Q signs" rule.
+  double sign_epsilon = 0.01;
+  /// Cheap pre-filter: register centers farther apart than this never merge
+  /// (um). Keeps the graph sparse on large designs.
+  double max_distance = 60.0;
+  sta::FeasibleRegionOptions region;
+};
+
+/// Everything the composition engine needs to know about one composable
+/// register, precomputed once.
+struct RegisterInfo {
+  netlist::CellId cell;
+  const lib::RegisterCell* lib_cell = nullptr;
+  int bits = 1;
+  geom::Rect footprint;
+  geom::Rect region;  // timing-feasible placement region
+  double d_slack = 0.0;  // worst D-side slack (clamped)
+  double q_slack = 0.0;  // worst Q-side slack (clamped)
+  double drive_resistance = 0.0;
+  netlist::NetId clock_net;
+  int gating_group = 0;
+  // Control net signature (invalid ids when the function lacks the pin).
+  netlist::NetId reset_net;
+  netlist::NetId set_net;
+  netlist::NetId enable_net;
+  netlist::NetId scan_enable_net;
+  netlist::ScanInfo scan;
+
+  geom::Point center() const { return footprint.center(); }
+};
+
+class CompatibilityGraph {
+public:
+  const std::vector<RegisterInfo>& nodes() const { return nodes_; }
+  const RegisterInfo& node(int i) const { return nodes_[i]; }
+  /// Mutable access for hand-built graphs (tests, fixtures).
+  RegisterInfo& node_mutable(int i) { return nodes_[i]; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  const std::vector<int>& neighbors(int i) const { return adjacency_[i]; }
+  bool has_edge(int a, int b) const;
+  std::int64_t edge_count() const;
+
+  /// Connected components, each a sorted list of node indices.
+  std::vector<std::vector<int>> connected_components() const;
+
+  // Construction (used by build_compatibility_graph and tests).
+  int add_node(RegisterInfo info);
+  void add_edge(int a, int b);
+
+private:
+  std::vector<RegisterInfo> nodes_;
+  std::vector<std::vector<int>> adjacency_;  // sorted
+};
+
+/// True when `cell` may be composed at all (Sec. 5's 'Comp-Regs' notion):
+/// a live, clocked, non-fixed register whose functional class has a library
+/// MBR wider than the register itself.
+bool is_composable(const netlist::Design& design, netlist::CellId cell);
+
+/// Collects the RegisterInfo of one composable register.
+RegisterInfo make_register_info(const netlist::Design& design,
+                                const sta::TimingReport& timing,
+                                netlist::CellId cell,
+                                const CompatibilityOptions& options);
+
+// Pairwise rules (exposed for tests; build_compatibility_graph applies all).
+bool functionally_compatible(const RegisterInfo& a, const RegisterInfo& b);
+bool scan_compatible(const RegisterInfo& a, const RegisterInfo& b);
+bool placement_compatible(const RegisterInfo& a, const RegisterInfo& b,
+                          const CompatibilityOptions& options);
+bool timing_compatible(const RegisterInfo& a, const RegisterInfo& b,
+                       const CompatibilityOptions& options);
+
+/// Builds the full compatibility graph of `design`.
+CompatibilityGraph build_compatibility_graph(
+    const netlist::Design& design, const sta::TimingReport& timing,
+    const CompatibilityOptions& options = {});
+
+}  // namespace mbrc::mbr

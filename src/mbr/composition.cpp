@@ -1,0 +1,86 @@
+#include "mbr/composition.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace mbrc::mbr {
+
+std::vector<const Selection*> CompositionPlan::merges() const {
+  std::vector<const Selection*> out;
+  for (const Selection& s : selections)
+    if (s.candidate.nodes.size() >= 2) out.push_back(&s);
+  return out;
+}
+
+ilp::SetPartitionResult solve_subgraph(
+    const std::vector<int>& subgraph, const std::vector<Candidate>& candidates,
+    const ilp::SetPartitionOptions& options) {
+  // Map graph node ids to dense element ids.
+  std::unordered_map<int, int> element_of;
+  element_of.reserve(subgraph.size());
+  for (std::size_t i = 0; i < subgraph.size(); ++i)
+    element_of.emplace(subgraph[i], static_cast<int>(i));
+
+  ilp::SetPartitionProblem problem;
+  problem.element_count = static_cast<int>(subgraph.size());
+  problem.candidates.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    ilp::SetPartitionCandidate spc;
+    spc.weight = c.weight;
+    spc.elements.reserve(c.nodes.size());
+    for (int node : c.nodes) {
+      const auto it = element_of.find(node);
+      MBRC_ASSERT_MSG(it != element_of.end(),
+                      "candidate references node outside its subgraph");
+      spc.elements.push_back(it->second);
+    }
+    problem.candidates.push_back(std::move(spc));
+  }
+  return ilp::solve_set_partition(problem, options);
+}
+
+CompositionPlan plan_composition(const netlist::Design& design,
+                                 const sta::TimingReport& timing,
+                                 const CompositionOptions& options) {
+  CompositionPlan plan;
+  plan.graph = build_compatibility_graph(design, timing, options.compatibility);
+
+  const BlockerIndex blockers(plan.graph);
+  const auto subgraphs =
+      partition_graph(plan.graph, design, options.partition);
+  plan.subgraph_count = static_cast<int>(subgraphs.size());
+
+  for (const auto& subgraph : subgraphs) {
+    const EnumerationResult enumeration = enumerate_candidates(
+        plan.graph, design.library(), blockers, subgraph, options.enumeration);
+    plan.candidate_count +=
+        static_cast<std::int64_t>(enumeration.candidates.size());
+    if (enumeration.truncated) ++plan.truncated_subgraphs;
+
+    const ilp::SetPartitionResult solved =
+        solve_subgraph(subgraph, enumeration.candidates, options.solver);
+    MBRC_ASSERT_MSG(solved.feasible,
+                    "subgraph ILP infeasible despite singleton candidates");
+    plan.ilp_nodes += solved.nodes_explored;
+    plan.objective += solved.objective;
+
+    for (int index : solved.chosen) {
+      Selection selection;
+      selection.candidate = enumeration.candidates[index];
+      for (int node : selection.candidate.nodes)
+        selection.members.push_back(plan.graph.node(node).cell);
+      plan.selections.push_back(std::move(selection));
+    }
+  }
+
+  // Deterministic order: by first member cell id.
+  std::sort(plan.selections.begin(), plan.selections.end(),
+            [](const Selection& a, const Selection& b) {
+              return a.members.front() < b.members.front();
+            });
+  return plan;
+}
+
+}  // namespace mbrc::mbr

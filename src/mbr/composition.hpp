@@ -1,0 +1,61 @@
+// MBR allocation: the weighted set-partitioning ILP of Sec. 3.1.
+//
+// Per compatibility subgraph, every composable register must end up in
+// exactly one selected candidate (possibly its own singleton), and the
+// selection minimizes the sum of the placement-aware weights. Subgraphs are
+// independent, so the global optimum is the union of per-subgraph optima.
+#pragma once
+
+#include <vector>
+
+#include "ilp/set_partition.hpp"
+#include "mbr/candidates.hpp"
+#include "mbr/cliques.hpp"
+#include "mbr/compatibility.hpp"
+
+namespace mbrc::mbr {
+
+struct CompositionOptions {
+  CompatibilityOptions compatibility;
+  PartitionOptions partition;
+  EnumerationOptions enumeration;
+  ilp::SetPartitionOptions solver;
+};
+
+/// One selected MBR (or kept singleton) after solving the ILP.
+struct Selection {
+  Candidate candidate;
+  std::vector<netlist::CellId> members;  // resolved from candidate.nodes
+};
+
+struct CompositionPlan {
+  CompatibilityGraph graph;
+  std::vector<Selection> selections;   // all, including kept singletons
+  double objective = 0.0;              // sum of selected weights
+  int subgraph_count = 0;
+  std::int64_t candidate_count = 0;
+  std::int64_t ilp_nodes = 0;          // branch & bound nodes over all subgraphs
+  int truncated_subgraphs = 0;
+
+  /// Selections that actually merge two or more registers.
+  std::vector<const Selection*> merges() const;
+  /// Final register count implied by the plan (each selection is one cell).
+  int planned_register_count() const {
+    return static_cast<int>(selections.size());
+  }
+};
+
+/// Builds the compatibility graph, partitions it, enumerates candidates and
+/// solves the per-subgraph ILPs. Does not modify the design.
+CompositionPlan plan_composition(const netlist::Design& design,
+                                 const sta::TimingReport& timing,
+                                 const CompositionOptions& options = {});
+
+/// Solves one subgraph's ILP given its enumerated candidates; exposed for
+/// tests (cross-validation against the generic simplex-based B&B) and for
+/// the worked-example bench.
+ilp::SetPartitionResult solve_subgraph(
+    const std::vector<int>& subgraph, const std::vector<Candidate>& candidates,
+    const ilp::SetPartitionOptions& options = {});
+
+}  // namespace mbrc::mbr

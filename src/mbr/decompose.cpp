@@ -1,0 +1,227 @@
+#include "mbr/decompose.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mbrc::mbr {
+
+namespace {
+
+using netlist::CellId;
+using netlist::Design;
+using netlist::NetId;
+using netlist::PinId;
+using netlist::PinRole;
+
+// The weakest (max resistance) cell of the class at `bits` -- decomposition
+// must not waste power; the recomposition's mapper re-selects drive anyway.
+const lib::RegisterCell* piece_cell(const lib::Library& library,
+                                    const lib::RegisterFunction& function,
+                                    int bits) {
+  const auto cells = library.cells_for(function, bits);
+  const lib::RegisterCell* best = nullptr;
+  for (const lib::RegisterCell* cell : cells) {
+    if (cell->scan_style == lib::ScanStyle::kPerBitPins) continue;
+    if (best == nullptr || cell->drive_resistance > best->drive_resistance)
+      best = cell;
+  }
+  return best;
+}
+
+bool eligible(const Design& design, CellId cell_id,
+              const DecomposeOptions& options,
+              const sta::TimingReport* timing) {
+  const netlist::Cell& cell = design.cell(cell_id);
+  if (cell.dead || cell.kind != netlist::CellKind::kRegister) return false;
+  if (cell.fixed || cell.size_only) return false;
+  if (cell.reg->bits < options.min_bits) return false;
+  if (cell.reg->bits % options.piece_bits != 0) return false;
+  // Ordered scan sections pin the whole register's chain position; keep
+  // those intact (splitting would need section renumbering).
+  if (cell.scan.section >= 0) return false;
+  if (timing != nullptr) {
+    // Gate on the useful-skew-balanced slack (one clock offset can shift
+    // slack between the D and Q sides): pieces of a register below the gate
+    // could never move, so they would never regroup.
+    const double d = timing->register_d_slack(design, cell_id);
+    const double q = timing->register_q_slack(design, cell_id);
+    double budget = sta::kNoRequired;
+    if (d != sta::kNoRequired && q != sta::kNoRequired)
+      budget = (d + q) / 2;
+    else if (d != sta::kNoRequired)
+      budget = d;
+    else if (q != sta::kNoRequired)
+      budget = q;
+    if (budget != sta::kNoRequired && budget < options.min_slack)
+      return false;
+  }
+  return piece_cell(design.library(), cell.reg->function,
+                    options.piece_bits) != nullptr;
+}
+
+}  // namespace
+
+DecomposeResult decompose_registers(netlist::Design& design,
+                                    const DecomposeOptions& options,
+                                    const sta::TimingReport* timing) {
+  MBRC_ASSERT(options.piece_bits >= 1 &&
+              options.piece_bits < options.min_bits);
+  DecomposeResult result;
+
+  for (CellId cell_id : design.registers()) {
+    if (!eligible(design, cell_id, options, timing)) continue;
+    const netlist::Cell& cell = design.cell(cell_id);
+    const lib::RegisterCell* piece =
+        piece_cell(design.library(), cell.reg->function, options.piece_bits);
+    const int pieces = cell.reg->bits / options.piece_bits;
+
+    // Record connectivity before removing the original.
+    struct BitNets {
+      NetId d, q;
+    };
+    std::vector<BitNets> bits(cell.reg->bits);
+    for (int b = 0; b < cell.reg->bits; ++b) {
+      const PinId d = design.register_d_pin(cell_id, b);
+      const PinId q = design.register_q_pin(cell_id, b);
+      bits[b] = {design.pin(d).net, design.pin(q).net};
+    }
+    const NetId clock = design.register_clock_net(cell_id);
+    const auto control = [&](PinRole role) {
+      const PinId pin = design.register_control_pin(cell_id, role);
+      return pin.valid() ? design.pin(pin).net : NetId{};
+    };
+    const NetId reset = control(PinRole::kReset);
+    const NetId set = control(PinRole::kSet);
+    const NetId enable = control(PinRole::kEnable);
+    const NetId scan_enable = control(PinRole::kScanEnable);
+    const geom::Point origin = cell.position;
+    const std::string base_name = cell.name;
+    const netlist::ScanInfo scan = cell.scan;
+    const int gating = cell.gating_group;
+
+    design.remove_cell(cell_id);
+
+    std::vector<CellId> group;
+    for (int p = 0; p < pieces; ++p) {
+      // Pieces are distributed over the original footprint (their summed
+      // width slightly exceeds it -- sharing lost); the follow-up
+      // legalization resolves the small overlaps with minimal displacement.
+      const double pitch =
+          std::max(piece->width, cell.reg->width / pieces);
+      const geom::Point position{origin.x + p * pitch, origin.y};
+      const CellId new_cell = design.add_register(
+          base_name + "_p" + std::to_string(p), piece, position);
+      netlist::Cell& created = design.cell(new_cell);
+      created.scan = scan;
+      created.gating_group = gating;
+
+      if (clock.valid())
+        design.connect(design.register_clock_pin(new_cell), clock);
+      const auto connect_control = [&](PinRole role, NetId net) {
+        if (!net.valid()) return;
+        const PinId pin = design.register_control_pin(new_cell, role);
+        MBRC_ASSERT(pin.valid());
+        design.connect(pin, net);
+      };
+      connect_control(PinRole::kReset, reset);
+      connect_control(PinRole::kSet, set);
+      connect_control(PinRole::kEnable, enable);
+      connect_control(PinRole::kScanEnable, scan_enable);
+
+      for (int b = 0; b < options.piece_bits; ++b) {
+        const BitNets& nets = bits[p * options.piece_bits + b];
+        if (nets.d.valid())
+          design.connect(design.register_d_pin(new_cell, b), nets.d);
+        if (nets.q.valid())
+          design.connect(design.register_q_pin(new_cell, b), nets.q);
+      }
+      result.pieces.push_back(new_cell);
+      group.push_back(new_cell);
+      ++result.pieces_created;
+    }
+    result.sibling_groups.push_back(std::move(group));
+    ++result.registers_split;
+  }
+  return result;
+}
+
+RecombineResult recombine_unused_pieces(
+    netlist::Design& design, const DecomposeResult& decomposition) {
+  RecombineResult result;
+  for (const auto& group : decomposition.sibling_groups) {
+    bool all_alive = true;
+    int total_bits = 0;
+    for (CellId piece : group) {
+      if (design.cell(piece).dead) {
+        all_alive = false;
+        break;
+      }
+      total_bits += design.cell(piece).reg->bits;
+    }
+    if (!all_alive || group.empty()) continue;
+
+    const netlist::Cell& first = design.cell(group.front());
+    const lib::RegisterCell* wide =
+        piece_cell(design.library(), first.reg->function, total_bits);
+    if (wide == nullptr) continue;
+
+    // Gather connectivity in piece order, then rebuild the original.
+    std::vector<NetId> d_nets, q_nets;
+    for (CellId piece : group) {
+      for (int b = 0; b < design.cell(piece).reg->bits; ++b) {
+        d_nets.push_back(
+            design.pin(design.register_d_pin(piece, b)).net);
+        q_nets.push_back(
+            design.pin(design.register_q_pin(piece, b)).net);
+      }
+    }
+    const NetId clock = design.register_clock_net(group.front());
+    const auto control = [&](PinRole role) {
+      const PinId pin = design.register_control_pin(group.front(), role);
+      return pin.valid() ? design.pin(pin).net : NetId{};
+    };
+    const NetId reset = control(PinRole::kReset);
+    const NetId set = control(PinRole::kSet);
+    const NetId enable = control(PinRole::kEnable);
+    const NetId scan_enable = control(PinRole::kScanEnable);
+    const geom::Point origin = first.position;
+    std::string name = first.name;
+    if (const auto cut = name.rfind("_p"); cut != std::string::npos)
+      name.resize(cut);
+    const netlist::ScanInfo scan = first.scan;
+    const int gating = first.gating_group;
+
+    for (CellId piece : group) design.remove_cell(piece);
+
+    const CellId restored = design.add_register(name + "_r", wide, origin);
+    netlist::Cell& cell = design.cell(restored);
+    cell.scan = scan;
+    cell.gating_group = gating;
+    if (clock.valid())
+      design.connect(design.register_clock_pin(restored), clock);
+    const auto connect_control = [&](PinRole role, NetId net) {
+      if (!net.valid()) return;
+      const PinId pin = design.register_control_pin(restored, role);
+      MBRC_ASSERT(pin.valid());
+      design.connect(pin, net);
+    };
+    connect_control(PinRole::kReset, reset);
+    connect_control(PinRole::kSet, set);
+    connect_control(PinRole::kEnable, enable);
+    connect_control(PinRole::kScanEnable, scan_enable);
+    for (std::size_t b = 0; b < d_nets.size(); ++b) {
+      if (d_nets[b].valid())
+        design.connect(design.register_d_pin(restored, static_cast<int>(b)),
+                       d_nets[b]);
+      if (q_nets[b].valid())
+        design.connect(design.register_q_pin(restored, static_cast<int>(b)),
+                       q_nets[b]);
+    }
+    result.restored.push_back(restored);
+    ++result.groups_restored;
+  }
+  return result;
+}
+
+}  // namespace mbrc::mbr

@@ -1,0 +1,70 @@
+// MBR decomposition -- the paper's future-work extension (Sec. 5):
+//
+//   "To optimize such designs [rich in max-width MBRs, like D4], we plan in
+//    the future to consider the decomposition of the initial 8-bit MBRs and
+//    their recomposition using the proposed methodology, instead of
+//    skipping them completely."
+//
+// This module implements that: selected wide MBRs are split into smaller
+// registers of the same functional class (e.g. one 8-bit into two 4-bit),
+// each keeping its bits' D/Q connectivity and the shared control nets. The
+// pieces are placed side by side where the original stood, become ordinary
+// composable registers, and the regular composition flow then regroups them
+// -- now with the freedom to mix them with neighboring registers.
+//
+// Decomposition is conservative: only registers whose class offers the
+// target split width, that are not fixed/size-only, and whose bits are not
+// pinned by an ordered scan section are split.
+#pragma once
+
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "sta/sta.hpp"
+
+namespace mbrc::mbr {
+
+struct DecomposeOptions {
+  /// Split registers with at least this many bits.
+  int min_bits = 8;
+  /// Width of the pieces (must exist in the library for the class).
+  int piece_bits = 4;
+  /// Only split registers whose useful-skew-balanced slack,
+  /// (d_slack + q_slack) / 2, is at least this (ns): critical registers
+  /// gain nothing from being split -- their pieces cannot move, so they
+  /// could never regroup with neighbors and the split would only pay the
+  /// lost area/cap sharing.
+  double min_slack = 0.02;
+};
+
+struct DecomposeResult {
+  int registers_split = 0;
+  int pieces_created = 0;
+  std::vector<netlist::CellId> pieces;
+  /// Pieces grouped by the register they came from (used by
+  /// recombine_unused_pieces to undo splits that did not pay off).
+  std::vector<std::vector<netlist::CellId>> sibling_groups;
+};
+
+/// Splits every eligible wide register of `design` into `piece_bits`-wide
+/// pieces. `timing` gates the split on slack (pass nullptr to split
+/// regardless). Scan chains touching split registers must be re-stitched
+/// afterwards (the flow's restitch pass handles it).
+DecomposeResult decompose_registers(netlist::Design& design,
+                                    const DecomposeOptions& options = {},
+                                    const sta::TimingReport* timing = nullptr);
+
+struct RecombineResult {
+  int groups_restored = 0;
+  std::vector<netlist::CellId> restored;
+};
+
+/// Undoes splits that did not pay off: every sibling group whose pieces all
+/// survived composition unmerged is recombined into a single register of
+/// the original width at the group's location. Together with
+/// decompose_registers this makes the pre-pass a no-lose transform: a piece
+/// either joined a new MBR or its group is restored verbatim.
+RecombineResult recombine_unused_pieces(netlist::Design& design,
+                                        const DecomposeResult& decomposition);
+
+}  // namespace mbrc::mbr

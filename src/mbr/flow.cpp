@@ -1,0 +1,215 @@
+#include "mbr/flow.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mbrc::mbr {
+
+Metrics evaluate_design(const netlist::Design& design,
+                        const FlowOptions& options, const sta::SkewMap& skew) {
+  Metrics m;
+  m.design = design.stats();
+
+  const sta::TimingReport timing = run_sta(design, options.timing, skew);
+  m.wns = timing.wns();
+  m.tns = timing.tns();
+  m.failing_endpoints = timing.failing_endpoints();
+  m.total_endpoints = timing.total_endpoints();
+  m.hold_wns = timing.hold_wns();
+  m.failing_hold_endpoints = timing.failing_hold_endpoints();
+
+  for (netlist::CellId reg : design.registers())
+    if (is_composable(design, reg)) ++m.composable_registers;
+
+  const cts::ClockTreeStats tree = cts::estimate_clock_tree(design, options.cts);
+  m.clock_buffers = tree.buffers;
+  m.clock_cap = tree.total_cap();
+  m.clock_wire = tree.wire_length;
+  m.signal_wire = design.wire_length().other;
+
+  // Clock dynamic power at Vdd = 0.9 V (28 nm-ish) and f = 1 / period:
+  // fF * GHz * V^2 = uW. Registers' internal clock loads are inside the
+  // clock_pin_cap model, so total_cap() is the switched capacitance.
+  const double vdd = 0.9;
+  const double f_ghz = 1.0 / options.timing.clock_period;
+  m.clock_power_uw = m.clock_cap * vdd * vdd * f_ghz * 1e-3;
+  for (netlist::CellId id : design.live_cells()) {
+    const netlist::Cell& cell = design.cell(id);
+    if (cell.kind == netlist::CellKind::kRegister)
+      m.leakage_nw += cell.reg->leakage;
+  }
+
+  const route::CongestionMap congestion =
+      route::estimate_congestion(design, options.route);
+  m.overflow_edges = congestion.overflow_edges();
+  m.max_congestion = congestion.max_utilization();
+  return m;
+}
+
+namespace {
+
+// Downsizes (or upsizes) each new MBR to the weakest drive variant whose
+// Q-side slack stays non-negative; runs a final STA pass internally.
+void size_new_mbrs(netlist::Design& design,
+                   const std::vector<netlist::CellId>& new_cells,
+                   const sta::TimingOptions& timing_options,
+                   const sta::SkewMap& skew) {
+  if (new_cells.empty()) return;
+  sta::TimingReport timing = run_sta(design, timing_options, skew);
+
+  for (netlist::CellId cell_id : new_cells) {
+    const netlist::Cell& cell = design.cell(cell_id);
+    const lib::RegisterCell* current = cell.reg;
+
+    // Drive variants of the same function/width/scan style, weakest first.
+    auto variants =
+        design.library().cells_for(current->function, current->bits);
+    std::erase_if(variants, [&](const lib::RegisterCell* v) {
+      return v->scan_style != current->scan_style;
+    });
+    std::sort(variants.begin(), variants.end(),
+              [](const lib::RegisterCell* a, const lib::RegisterCell* b) {
+                return a->drive_resistance > b->drive_resistance;
+              });
+    if (variants.size() <= 1) continue;
+
+    const double q_slack = timing.register_q_slack(design, cell_id);
+    if (q_slack == sta::kNoRequired) continue;
+
+    // Margin available for weakening the drive: extra delay the Q paths can
+    // absorb. delay = R * load, so a variant is acceptable when
+    // (R_variant - R_current) * load <= q_slack.
+    double load = 0.0;
+    for (int b = 0; b < current->bits; ++b) {
+      const netlist::PinId q = design.register_q_pin(cell_id, b);
+      const netlist::Pin& p = design.pin(q);
+      if (!p.net.valid()) continue;
+      load = std::max(load, design.net_hpwl(p.net) * 0.2);
+      for (netlist::PinId s : design.net(p.net).sinks)
+        load += design.pin(s).cap;
+    }
+
+    const double q_hold = timing.register_q_hold_slack(design, cell_id);
+    for (const lib::RegisterCell* variant : variants) {
+      const double extra =
+          (variant->drive_resistance - current->drive_resistance) * load *
+          1e-3;  // kOhm * fF -> ns; negative = faster launch (upsizing)
+      if (extra > q_slack * 0.75) continue;  // keep 25% setup margin
+      // Hold awareness: upsizing launches min-paths earlier into the
+      // downstream captures; never spend more than the hold slack there.
+      if (extra < 0 && q_hold != sta::kNoRequired &&
+          -extra > std::max(0.0, q_hold - 0.005))
+        continue;
+      if (variant != current) design.swap_register_cell(cell_id, variant);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+FlowResult run_composition_flow(netlist::Design& design,
+                                const FlowOptions& options) {
+  util::Stopwatch total_clock;
+  FlowResult result;
+  result.before = evaluate_design(design, options);
+
+  util::Stopwatch compose_clock;
+
+  // Optional pre-pass (the paper's future-work extension): break up wide
+  // MBRs so composition can regroup their bits with neighbors. Slack-gated:
+  // critical registers stay intact.
+  if (options.decompose_wide_mbrs) {
+    const sta::TimingReport pre = run_sta(design, options.timing);
+    result.decomposition =
+        decompose_registers(design, options.decompose, &pre);
+    if (!result.decomposition.pieces.empty()) {
+      place::RowGrid grid =
+          place::build_occupancy(design, result.decomposition.pieces);
+      const place::LegalizeResult legal = place::legalize_cells(
+          design, grid, result.decomposition.pieces);
+      MBRC_ASSERT_MSG(legal.success, "decomposition legalization failed");
+    }
+  }
+
+  const sta::TimingReport timing = run_sta(design, options.timing);
+
+  result.plan = options.allocator == Allocator::kIlp
+                    ? plan_composition(design, timing, options.composition)
+                    : plan_composition_heuristic(design, timing,
+                                                 options.composition);
+
+  // Apply the merges: map -> place -> rewire.
+  std::vector<netlist::CellId> new_cells;
+  int name_counter = 0;
+  for (const Selection* selection : result.plan.merges()) {
+    std::string why;
+    const auto mapping = map_candidate(design, result.plan.graph,
+                                       selection->candidate, options.mapping,
+                                       &why);
+    if (!mapping) {
+      ++result.rejected_at_mapping;
+      continue;
+    }
+    const geom::Point position =
+        place_mbr(design, result.plan.graph, selection->candidate, *mapping,
+                  options.placement);
+    const netlist::CellId mbr = rewire_candidate(
+        design, result.plan.graph, selection->candidate, *mapping, position,
+        "mbrc_" + std::to_string(name_counter++));
+    new_cells.push_back(mbr);
+    ++result.mbrs_created;
+    result.registers_merged +=
+        static_cast<int>(selection->candidate.nodes.size());
+    if (selection->candidate.is_incomplete()) ++result.incomplete_mbrs;
+  }
+
+  // Undo splits whose pieces found no partners (no-lose guarantee of the
+  // decomposition pre-pass).
+  if (options.decompose_wide_mbrs) {
+    const RecombineResult recombined =
+        recombine_unused_pieces(design, result.decomposition);
+    for (netlist::CellId cell : recombined.restored)
+      new_cells.push_back(cell);
+  }
+
+  // Incremental legalization of the new MBRs (widest first: they are the
+  // hardest to fit and have placement priority).
+  if (!new_cells.empty()) {
+    std::vector<netlist::CellId> order = new_cells;
+    std::sort(order.begin(), order.end(),
+              [&](netlist::CellId a, netlist::CellId b) {
+                const double wa = design.cell(a).width();
+                const double wb = design.cell(b).width();
+                if (wa != wb) return wa > wb;
+                return a < b;
+              });
+    place::RowGrid grid = place::build_occupancy(design, order);
+    result.legalization = place::legalize_cells(design, grid, order);
+    MBRC_ASSERT_MSG(result.legalization.success,
+                    "MBR legalization failed: core too full");
+  }
+
+  result.restitch = restitch_scan_chains(design);
+  result.compose_seconds = compose_clock.seconds();
+
+  // Useful skew on the new MBRs, then sizing under the final skews.
+  if (options.apply_useful_skew && !new_cells.empty()) {
+    std::unordered_set<netlist::CellId> allowed(new_cells.begin(),
+                                                new_cells.end());
+    const auto skew_result = optimize_useful_skew(
+        design, options.timing, options.skew, {},
+        options.skew_only_new_mbrs ? &allowed : nullptr);
+    result.skew = skew_result.skew;
+  }
+  if (options.size_new_mbrs)
+    size_new_mbrs(design, new_cells, options.timing, result.skew);
+
+  result.after = evaluate_design(design, options, result.skew);
+  result.total_seconds = total_clock.seconds();
+  return result;
+}
+
+}  // namespace mbrc::mbr

@@ -1,0 +1,101 @@
+// End-to-end incremental MBR composition flow (the paper's Fig. 4):
+//
+//   placed design -> STA -> compatibility graph -> partition -> candidate
+//   enumeration -> per-subgraph ILP (or greedy heuristic) -> mapping ->
+//   placement LP -> rewiring -> incremental legalization -> scan re-stitch
+//   -> MBR sizing -> useful skew on the new MBRs -> evaluation.
+//
+// Also exposes the evaluation harness that produces the Table 1 metrics
+// for a design state (before/after).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cts/cts.hpp"
+#include "mbr/composition.hpp"
+#include "mbr/decompose.hpp"
+#include "mbr/heuristic.hpp"
+#include "mbr/mapping.hpp"
+#include "mbr/placement.hpp"
+#include "mbr/rewire.hpp"
+#include "place/legalizer.hpp"
+#include "route/congestion.hpp"
+#include "sta/useful_skew.hpp"
+
+namespace mbrc::mbr {
+
+enum class Allocator { kIlp, kHeuristic };
+
+struct FlowOptions {
+  sta::TimingOptions timing;
+  CompositionOptions composition;
+  MappingOptions mapping;
+  PlacementOptions placement;
+  cts::CtsOptions cts;
+  route::RouteOptions route;
+  Allocator allocator = Allocator::kIlp;
+  /// The paper's future-work extension: split pre-existing max-width MBRs
+  /// into pieces before composition so they can regroup with neighbors
+  /// (targets D4-like designs that are already 8-bit rich).
+  bool decompose_wide_mbrs = false;
+  DecomposeOptions decompose;
+  bool apply_useful_skew = true;
+  /// Useful skew is restricted to the newly composed MBRs (the paper's
+  /// Fig. 4); set false to let every register move.
+  bool skew_only_new_mbrs = true;
+  sta::UsefulSkewOptions skew;
+  /// Post-composition sizing: downsize each new MBR to the weakest drive
+  /// variant that keeps its slacks non-negative.
+  bool size_new_mbrs = true;
+};
+
+/// The Table 1 measurement set for one design state.
+struct Metrics {
+  netlist::DesignStats design;
+  int composable_registers = 0;
+  double wns = 0.0;
+  double tns = 0.0;
+  int failing_endpoints = 0;
+  int total_endpoints = 0;
+  double hold_wns = 0.0;
+  int failing_hold_endpoints = 0;
+  int clock_buffers = 0;      // CTS estimate (plus pre-existing buffers)
+  double clock_cap = 0.0;     // fF, CTS estimate (sinks + buffers + wire)
+  /// Dynamic clock power, P = C_clk * Vdd^2 * f (the clock toggles every
+  /// cycle), in uW for fF * GHz * V^2. This is the paper's target metric.
+  double clock_power_uw = 0.0;
+  double leakage_nw = 0.0;    // sum of cell leakage
+  double clock_wire = 0.0;    // um, CTS estimate
+  double signal_wire = 0.0;   // um, HPWL of non-clock nets
+  int overflow_edges = 0;
+  double max_congestion = 0.0;
+};
+
+struct FlowResult {
+  Metrics before;
+  Metrics after;
+  int mbrs_created = 0;
+  int registers_merged = 0;      // members absorbed into new MBRs
+  int rejected_at_mapping = 0;   // selections dropped by Sec. 4.1 rules
+  int incomplete_mbrs = 0;
+  DecomposeResult decomposition;  // empty unless decompose_wide_mbrs
+  place::LegalizeResult legalization;
+  RestitchStats restitch;
+  sta::SkewMap skew;
+  double compose_seconds = 0.0;  // plan + map + place + rewire + legalize
+  double total_seconds = 0.0;
+  CompositionPlan plan;          // the accepted plan (for reporting)
+};
+
+/// Measures a design state with the flow's substrates. `skew` is applied
+/// during STA (pass the flow's resulting skew for 'after' measurements).
+Metrics evaluate_design(const netlist::Design& design,
+                        const FlowOptions& options,
+                        const sta::SkewMap& skew = {});
+
+/// Runs the full incremental composition flow, mutating `design`.
+FlowResult run_composition_flow(netlist::Design& design,
+                                const FlowOptions& options = {});
+
+}  // namespace mbrc::mbr

@@ -1,0 +1,150 @@
+#include "mbr/heuristic.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mbrc::mbr {
+
+namespace {
+
+// Trims a maximal clique to the widest library width that fits, dropping
+// the member farthest from the clique centroid whenever the bit count has
+// no library cell or the common feasible region is empty. Returns the
+// trimmed member list (may end up a singleton).
+std::vector<int> trim_to_width(const CompatibilityGraph& graph,
+                               const std::vector<int>& widths,
+                               std::vector<int> members) {
+  while (members.size() >= 2) {
+    int bits = 0;
+    geom::Rect region = geom::Rect::universe();
+    geom::Point centroid{0, 0};
+    for (int m : members) {
+      bits += graph.node(m).bits;
+      region = region.intersect(graph.node(m).region);
+      centroid = centroid + graph.node(m).center();
+    }
+    centroid = centroid * (1.0 / static_cast<double>(members.size()));
+
+    if (std::binary_search(widths.begin(), widths.end(), bits) &&
+        !region.is_empty())
+      return members;
+
+    std::size_t worst = 0;
+    double worst_dist = -1.0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const double d =
+          geom::manhattan(centroid, graph.node(members[i]).center());
+      if (d > worst_dist) {
+        worst_dist = d;
+        worst = i;
+      }
+    }
+    members.erase(members.begin() + static_cast<std::ptrdiff_t>(worst));
+  }
+  return members;
+}
+
+}  // namespace
+
+CompositionPlan plan_composition_heuristic(const netlist::Design& design,
+                                           const sta::TimingReport& timing,
+                                           const CompositionOptions& options) {
+  CompositionPlan plan;
+  plan.graph = build_compatibility_graph(design, timing, options.compatibility);
+
+  const auto subgraphs = partition_graph(plan.graph, design, options.partition);
+  plan.subgraph_count = static_cast<int>(subgraphs.size());
+
+  for (const auto& subgraph : subgraphs) {
+    if (subgraph.empty()) continue;
+    const auto widths = design.library().available_widths(
+        plan.graph.node(subgraph.front()).lib_cell->function);
+
+    // Single pass, as in the refs-[8]/[12] style baseline: identify the
+    // maximal cliques, map each to the widest fitting library cell by
+    // trimming its farthest members, then commit greedily (most bits
+    // first). Leftover members of overlapping cliques strand as singletons
+    // -- exactly the fragmentation the exact ILP avoids.
+    const auto cliques = maximal_cliques(plan.graph, subgraph);
+    plan.candidate_count += static_cast<std::int64_t>(cliques.size());
+
+    struct Mapped {
+      std::vector<int> nodes;
+      int bits = 0;
+      double spread = 0.0;
+    };
+    std::vector<Mapped> mapped;
+    mapped.reserve(cliques.size());
+    for (const auto& clique : cliques) {
+      auto trimmed = trim_to_width(plan.graph, widths, clique);
+      if (trimmed.size() < 2) continue;
+      Mapped m;
+      m.bits = 0;
+      geom::Rect bbox = geom::Rect::empty();
+      for (int node : trimmed) {
+        m.bits += plan.graph.node(node).bits;
+        bbox = bbox.unite(plan.graph.node(node).footprint);
+      }
+      m.spread = bbox.half_perimeter();
+      m.nodes = std::move(trimmed);
+      mapped.push_back(std::move(m));
+    }
+    std::sort(mapped.begin(), mapped.end(), [](const Mapped& a,
+                                               const Mapped& b) {
+      if (a.bits != b.bits) return a.bits > b.bits;
+      if (a.spread != b.spread) return a.spread < b.spread;
+      return a.nodes < b.nodes;
+    });
+
+    std::vector<bool> used(plan.graph.node_count(), false);
+    for (const Mapped& m : mapped) {
+      bool free_nodes = true;
+      for (int node : m.nodes)
+        if (used[node]) {
+          free_nodes = false;
+          break;
+        }
+      if (!free_nodes) continue;
+
+      geom::Rect region = geom::Rect::universe();
+      for (int node : m.nodes)
+        region = region.intersect(plan.graph.node(node).region);
+
+      Selection selection;
+      selection.candidate.nodes = m.nodes;
+      selection.candidate.bits = m.bits;
+      selection.candidate.mapped_width = m.bits;
+      selection.candidate.weight = 1.0;
+      selection.candidate.needs_per_bit_scan =
+          candidate_needs_per_bit_scan(plan.graph, m.nodes);
+      selection.candidate.common_region = region;
+      for (int node : m.nodes) {
+        used[node] = true;
+        selection.members.push_back(plan.graph.node(node).cell);
+      }
+      plan.selections.push_back(std::move(selection));
+    }
+
+    for (int node : subgraph) {
+      if (used[node]) continue;
+      Selection selection;
+      selection.candidate.nodes = {node};
+      selection.candidate.bits = plan.graph.node(node).bits;
+      selection.candidate.mapped_width = selection.candidate.bits;
+      selection.candidate.weight = 1.0;
+      selection.candidate.common_region = plan.graph.node(node).region;
+      selection.members.push_back(plan.graph.node(node).cell);
+      plan.selections.push_back(std::move(selection));
+    }
+  }
+
+  std::sort(plan.selections.begin(), plan.selections.end(),
+            [](const Selection& a, const Selection& b) {
+              return a.members.front() < b.members.front();
+            });
+  return plan;
+}
+
+}  // namespace mbrc::mbr

@@ -1,0 +1,44 @@
+// MBR mapping (Sec. 4.1): choose the concrete library cell for a selected
+// candidate, and the bit order in which the replaced registers occupy it.
+//
+// The chosen cell must not degrade timing -- its drive resistance must match
+// the strongest (minimum-resistance) replaced register -- and among the
+// qualifying cells, the one with the lowest clock pin capacitance wins.
+// External (per-bit) scan variants are penalized and picked only when the
+// scan-order analysis demands them. Incomplete MBRs are additionally
+// subject to the flow-level area rule: at most `incomplete_area_overhead`
+// above the total area of the replaced registers (Sec. 5 uses 5%).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "mbr/candidates.hpp"
+#include "mbr/compatibility.hpp"
+
+namespace mbrc::mbr {
+
+struct MappingOptions {
+  /// Max area overhead an incomplete MBR may add over the replaced
+  /// registers (fraction; Sec. 5 allows 5%).
+  double incomplete_area_overhead = 0.05;
+};
+
+struct Mapping {
+  const lib::RegisterCell* cell = nullptr;
+  /// Members (graph node indices) in MBR bit order; member i's bits occupy
+  /// consecutive MBR bit indices starting at `bit_offset[i]`.
+  std::vector<int> member_order;
+  std::vector<int> bit_offset;
+};
+
+/// Maps a candidate to a library cell, or nullopt with `why` set when the
+/// candidate must be rejected (no qualifying cell, or incomplete-MBR area
+/// overhead above the limit).
+std::optional<Mapping> map_candidate(const netlist::Design& design,
+                                     const CompatibilityGraph& graph,
+                                     const Candidate& candidate,
+                                     const MappingOptions& options = {},
+                                     std::string* why = nullptr);
+
+}  // namespace mbrc::mbr

@@ -1,0 +1,64 @@
+// MBR placement (Sec. 4.2): choose the location of a newly composed MBR
+// that minimizes the half-perimeter wire-length of its D and Q pin
+// connections, constrained to the members' common timing-feasible region.
+//
+// Every pin contributes wl_i = (max(xh, x+dx) - min(xl, x+dx)) +
+// (max(yh, y+dy) - min(yl, y+dy)), with (x, y) the MBR's lower-left corner
+// and (dx, dy) the pin offset inside the cell. Two solvers are provided:
+//   - the paper's linear program, with the min/max linearized through helper
+//     variables (src/lp simplex), and
+//   - an O(n log n) weighted-median solution exploiting that the objective
+//     is separable and convex piecewise-linear in x and in y.
+// Both return the same optimum (property-tested); the median solver is the
+// default in the flow.
+#pragma once
+
+#include <vector>
+
+#include "mbr/mapping.hpp"
+
+namespace mbrc::mbr {
+
+/// One pin's connectivity: the bounding box of the fixed pins it connects
+/// to, and the pin's offset inside the MBR cell.
+struct PinBox {
+  geom::Rect box;      // bbox of the already-placed pins on the net
+  geom::Point offset;  // (dx, dy) of the MBR pin inside the cell
+};
+
+/// Collects the D/Q pin boxes of a mapped candidate from the members'
+/// current connectivity (the members themselves are excluded from each box).
+/// Pins on single-pin nets are skipped.
+std::vector<PinBox> collect_pin_boxes(const netlist::Design& design,
+                                      const CompatibilityGraph& graph,
+                                      const Candidate& candidate,
+                                      const Mapping& mapping);
+
+/// Total HPWL objective of placing the cell's lower-left corner at `corner`.
+double placement_objective(const std::vector<PinBox>& boxes,
+                           geom::Point corner);
+
+/// Exact minimizer via per-axis weighted median, constrained to
+/// `corner_region` (the region of legal lower-left corners).
+geom::Point optimal_position_median(const std::vector<PinBox>& boxes,
+                                    const geom::Rect& corner_region);
+
+/// Same optimum through the paper's LP formulation (helper variables for
+/// min/max). Used for cross-validation and by callers who want the LP path.
+geom::Point optimal_position_lp(const std::vector<PinBox>& boxes,
+                                const geom::Rect& corner_region);
+
+struct PlacementOptions {
+  bool use_lp = false;  // default: weighted median (identical optimum)
+};
+
+/// End-to-end placement of a mapped candidate: derives the corner region
+/// from the candidate's common feasible region and the cell dimensions,
+/// collects pin boxes and solves. Falls back to the region center when the
+/// MBR has no connected pins.
+geom::Point place_mbr(const netlist::Design& design,
+                      const CompatibilityGraph& graph,
+                      const Candidate& candidate, const Mapping& mapping,
+                      const PlacementOptions& options = {});
+
+}  // namespace mbrc::mbr

@@ -1,0 +1,207 @@
+#include "mbr/rewire.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace mbrc::mbr {
+
+namespace {
+
+using netlist::CellId;
+using netlist::Design;
+using netlist::NetId;
+using netlist::PinId;
+using netlist::PinRole;
+
+struct BitNets {
+  NetId d;
+  NetId q;
+};
+
+NetId pin_net(const Design& design, PinId pin) {
+  return pin.valid() ? design.pin(pin).net : NetId{};
+}
+
+}  // namespace
+
+netlist::CellId rewire_candidate(netlist::Design& design,
+                                 const CompatibilityGraph& graph,
+                                 const Candidate& candidate,
+                                 const Mapping& mapping, geom::Point position,
+                                 const std::string& name) {
+  MBRC_ASSERT(candidate.nodes.size() >= 2);
+  const RegisterInfo& first = graph.node(candidate.nodes.front());
+
+  // Shared nets -- identical across members by functional compatibility.
+  const NetId clock_net = first.clock_net;
+  const NetId reset_net = first.reset_net;
+  const NetId set_net = first.set_net;
+  const NetId enable_net = first.enable_net;
+  const NetId scan_enable_net = first.scan_enable_net;
+
+  // Per-bit data nets in MBR bit order.
+  std::vector<BitNets> bit_nets;
+  bit_nets.reserve(candidate.bits);
+  for (std::size_t i = 0; i < mapping.member_order.size(); ++i) {
+    const RegisterInfo& info = graph.node(mapping.member_order[i]);
+    for (int b = 0; b < info.bits; ++b) {
+      bit_nets.push_back(
+          {pin_net(design, design.register_d_pin(info.cell, b)),
+           pin_net(design, design.register_q_pin(info.cell, b))});
+    }
+  }
+  MBRC_ASSERT(static_cast<int>(bit_nets.size()) == candidate.bits);
+
+  // Merged scan attributes: a single shared section only when every member
+  // belongs to it; the merged order slot is the smallest member order.
+  netlist::ScanInfo scan;
+  scan.partition = first.scan.partition;
+  bool common_section = true;
+  int min_order = -1;
+  for (int node : candidate.nodes) {
+    const netlist::ScanInfo& s = graph.node(node).scan;
+    if (s.section != first.scan.section) common_section = false;
+    if (s.order >= 0 && (min_order < 0 || s.order < min_order))
+      min_order = s.order;
+  }
+  if (common_section && first.scan.section >= 0) {
+    scan.section = first.scan.section;
+    scan.order = min_order;
+  }
+
+  const int gating_group = graph.node(candidate.nodes.front()).gating_group;
+
+  // Remove the members, then splice in the MBR.
+  for (int node : candidate.nodes) design.remove_cell(graph.node(node).cell);
+
+  const CellId mbr = design.add_register(name, mapping.cell, position);
+  netlist::Cell& cell = design.cell(mbr);
+  cell.scan = scan;
+  cell.gating_group = gating_group;
+
+  if (clock_net.valid())
+    design.connect(design.register_clock_pin(mbr), clock_net);
+  const auto connect_control = [&](PinRole role, NetId net) {
+    if (!net.valid()) return;
+    const PinId pin = design.register_control_pin(mbr, role);
+    MBRC_ASSERT_MSG(pin.valid(), "mapped cell lacks a required control pin");
+    design.connect(pin, net);
+  };
+  connect_control(PinRole::kReset, reset_net);
+  connect_control(PinRole::kSet, set_net);
+  connect_control(PinRole::kEnable, enable_net);
+  connect_control(PinRole::kScanEnable, scan_enable_net);
+
+  for (std::size_t k = 0; k < bit_nets.size(); ++k) {
+    const int bit = static_cast<int>(k);
+    if (bit_nets[k].d.valid())
+      design.connect(design.register_d_pin(mbr, bit), bit_nets[k].d);
+    if (bit_nets[k].q.valid())
+      design.connect(design.register_q_pin(mbr, bit), bit_nets[k].q);
+  }
+  return mbr;
+}
+
+namespace {
+
+// The scan elements of a register: (SI, SO) pin pairs in chain order.
+// Internal-chain (and 1-bit) cells expose a single pair; per-bit cells one
+// pair per bit.
+std::vector<std::pair<PinId, PinId>> scan_elements(const Design& design,
+                                                   CellId reg) {
+  std::vector<PinId> si, so;
+  for (PinId pin_id : design.cell(reg).pins) {
+    const netlist::Pin& p = design.pin(pin_id);
+    if (p.role == PinRole::kScanIn) si.push_back(pin_id);
+    if (p.role == PinRole::kScanOut) so.push_back(pin_id);
+  }
+  auto by_bit = [&](PinId a, PinId b) {
+    return design.pin(a).bit < design.pin(b).bit;
+  };
+  std::sort(si.begin(), si.end(), by_bit);
+  std::sort(so.begin(), so.end(), by_bit);
+  MBRC_ASSERT(si.size() == so.size());
+  std::vector<std::pair<PinId, PinId>> out;
+  for (std::size_t i = 0; i < si.size(); ++i) out.emplace_back(si[i], so[i]);
+  return out;
+}
+
+}  // namespace
+
+RestitchStats restitch_scan_chains(netlist::Design& design) {
+  RestitchStats stats;
+
+  std::map<int, std::vector<CellId>> partitions;
+  for (CellId reg : design.registers()) {
+    const netlist::Cell& cell = design.cell(reg);
+    if (!cell.reg->function.is_scan || cell.scan.partition < 0) continue;
+    partitions[cell.scan.partition].push_back(reg);
+  }
+
+  for (auto& [partition, regs] : partitions) {
+    ++stats.chains;
+    stats.registers += static_cast<int>(regs.size());
+
+    // Drop the old chain links.
+    for (CellId reg : regs)
+      for (auto [si, so] : scan_elements(design, reg)) {
+        design.disconnect(si);
+        design.disconnect(so);
+      }
+
+    // Chain order: ordered sections first, in (section, order) sequence;
+    // then the free registers by geometric nearest-neighbor from the tail.
+    std::vector<CellId> ordered, free_regs;
+    for (CellId reg : regs) {
+      (design.cell(reg).scan.section >= 0 ? ordered : free_regs)
+          .push_back(reg);
+    }
+    std::sort(ordered.begin(), ordered.end(), [&](CellId a, CellId b) {
+      const netlist::ScanInfo& sa = design.cell(a).scan;
+      const netlist::ScanInfo& sb = design.cell(b).scan;
+      if (sa.section != sb.section) return sa.section < sb.section;
+      if (sa.order != sb.order) return sa.order < sb.order;
+      return a < b;
+    });
+
+    std::vector<CellId> chain = std::move(ordered);
+    geom::Point cursor = chain.empty()
+                             ? geom::Point{design.core().xlo, design.core().ylo}
+                             : design.cell(chain.back()).position;
+    std::vector<CellId> remaining = std::move(free_regs);
+    while (!remaining.empty()) {
+      std::size_t best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        const double d =
+            geom::manhattan(cursor, design.cell(remaining[i]).position);
+        if (d < best_dist) {
+          best_dist = d;
+          best = i;
+        }
+      }
+      chain.push_back(remaining[best]);
+      cursor = design.cell(remaining[best]).position;
+      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+
+    // Link consecutive scan elements with fresh nets.
+    PinId previous_so;
+    for (CellId reg : chain) {
+      for (auto [si, so] : scan_elements(design, reg)) {
+        if (previous_so.valid()) {
+          const NetId net = design.create_net(false);
+          design.connect(previous_so, net);
+          design.connect(si, net);
+          ++stats.links;
+        }
+        previous_so = so;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace mbrc::mbr

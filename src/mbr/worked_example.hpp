@@ -1,0 +1,32 @@
+// The paper's running example (Figs. 1-3): six registers A..F, where
+// A, B, C, D are single-bit, E is a 4-bit MBR from synthesis, and F is a
+// 2-bit MBR, with the compatibility edges of Fig. 1 and a placement shaped
+// like Fig. 2 (D sits inside the hull of {A, B, C} and of {B, C}; E is off to
+// the lower left paired with A and C; F off to the right paired with B and
+// C). The library offers {1, 2, 3, 4, 8}-bit MBRs, so 5- and 6-bit cliques
+// can only map to incomplete 8-bit cells.
+//
+// Used by the fig3 bench, the quickstart example and the unit tests.
+#pragma once
+
+#include <memory>
+
+#include "mbr/compatibility.hpp"
+
+namespace mbrc::mbr {
+
+struct WorkedExample {
+  std::shared_ptr<lib::Library> library;  // widths {1,2,3,4,8}
+  CompatibilityGraph graph;               // nodes 0..5 = A..F
+  CompatibilityOptions options;           // the options that produce Fig. 1
+
+  static constexpr int kA = 0, kB = 1, kC = 2, kD = 3, kE = 4, kF = 5;
+  static const char* node_name(int node);  // "A".."F"
+};
+
+/// Builds the example. The graph is constructed through the same pairwise
+/// compatibility rules the real flow uses (not hand-wired), so the tests
+/// double-check that the rules reproduce Fig. 1's edge set.
+WorkedExample make_worked_example();
+
+}  // namespace mbrc::mbr

@@ -1,0 +1,196 @@
+// Placed-netlist data model.
+//
+// A Design owns cells (registers, combinational gates, clock buffers, ports),
+// their pins, and the nets connecting them, plus the placement (cell
+// lower-left positions inside a core area), scan-chain attributes and
+// clock-gating groups. It supports the incremental editing MBR composition
+// needs: removing a group of registers and splicing a new multi-bit register
+// into their former connectivity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "lib/cells.hpp"
+#include "lib/library.hpp"
+#include "netlist/ids.hpp"
+#include "util/assert.hpp"
+
+namespace mbrc::netlist {
+
+enum class CellKind { kRegister, kComb, kClockBuffer, kPort };
+
+enum class PinRole {
+  kD,           // register data input (per bit)
+  kQ,           // register data output (per bit)
+  kClock,       // register/clock-buffer clock input
+  kReset,
+  kSet,
+  kEnable,
+  kScanIn,      // per bit for per-bit-scan cells, single otherwise
+  kScanOut,
+  kScanEnable,
+  kCombIn,
+  kCombOut,
+  kBufIn,       // clock buffer input
+  kBufOut,
+  kPort,        // top-level IO
+};
+
+struct Pin {
+  CellId cell;
+  NetId net;                 // invalid when unconnected
+  PinRole role = PinRole::kCombIn;
+  bool is_output = false;    // drives its net
+  int bit = -1;              // bit index for kD/kQ/kScanIn/kScanOut
+  geom::Point offset;        // relative to the cell's lower-left corner
+  double cap = 0.0;          // input capacitance (fF); 0 for outputs
+};
+
+struct Net {
+  PinId driver;              // invalid for undriven nets (e.g. constants)
+  std::vector<PinId> sinks;  // input pins on the net
+  bool is_clock = false;
+};
+
+/// Scan-chain attributes of a register (Sec. 2 scan compatibility): the
+/// partition says which chains the register may be placed on; registers of an
+/// ordered section must keep their relative scan order.
+struct ScanInfo {
+  int partition = -1;  // -1: not on any scan chain
+  int section = -1;    // -1: no ordering constraint within the partition
+  int order = -1;      // position within the ordered section
+};
+
+struct Cell {
+  std::string name;
+  CellKind kind = CellKind::kComb;
+  const lib::RegisterCell* reg = nullptr;    // kind == kRegister
+  const lib::CombCell* comb = nullptr;       // kind == kComb
+  const lib::ClockBufferCell* buf = nullptr; // kind == kClockBuffer
+  geom::Point position;                      // lower-left corner
+  std::vector<PinId> pins;
+  bool fixed = false;      // dont_touch: never composed or moved
+  bool size_only = false;  // may be resized but not composed
+  ScanInfo scan;
+  int gating_group = 0;    // clock-gating enable condition id (0 = ungated)
+  bool dead = false;       // tombstone left by remove_cell()
+
+  double width() const;
+  double height() const;
+  double area() const;
+  geom::Rect footprint() const {
+    return {position.x, position.y, position.x + width(),
+            position.y + height()};
+  }
+};
+
+/// Aggregate counters reported by the benches (Table 1 columns).
+struct DesignStats {
+  std::int64_t cells = 0;           // live non-port cells
+  double area = 0.0;                // um^2 of live non-port cells
+  std::int64_t total_registers = 0; // every register cell counts once
+  std::int64_t register_bits = 0;
+  std::int64_t clock_buffers = 0;
+  double clock_pin_cap = 0.0;       // fF, sum over register clock pins
+};
+
+class Design {
+public:
+  Design(const lib::Library* library, geom::Rect core)
+      : library_(library), core_(core) {
+    MBRC_ASSERT(library != nullptr);
+  }
+
+  const lib::Library& library() const { return *library_; }
+  const geom::Rect& core() const { return core_; }
+
+  // --- construction ----------------------------------------------------
+  /// Adds a register instance; creates D/Q pins per bit, the clock pin,
+  /// control pins per the cell's function, and scan pins per its scan style.
+  CellId add_register(std::string name, const lib::RegisterCell* cell,
+                      geom::Point position);
+  CellId add_comb(std::string name, const lib::CombCell* cell,
+                  geom::Point position);
+  CellId add_clock_buffer(std::string name, const lib::ClockBufferCell* cell,
+                          geom::Point position);
+  CellId add_port(std::string name, bool is_input, geom::Point position);
+
+  NetId create_net(bool is_clock = false);
+  void connect(PinId pin, NetId net);
+  void disconnect(PinId pin);
+
+  /// Disconnects all pins and tombstones the cell. Ids of other entities
+  /// remain stable.
+  void remove_cell(CellId cell);
+
+  /// Replaces a register's library cell with another of the same bit count,
+  /// function and scan style (a sizing move): pin offsets and capacitances
+  /// are updated in place, connectivity is preserved.
+  void swap_register_cell(CellId cell, const lib::RegisterCell* replacement);
+
+  // --- access ----------------------------------------------------------
+  const Cell& cell(CellId id) const { return cells_[id.index]; }
+  Cell& cell(CellId id) { return cells_[id.index]; }
+  const Pin& pin(PinId id) const { return pins_[id.index]; }
+  Pin& pin(PinId id) { return pins_[id.index]; }
+  const Net& net(NetId id) const { return nets_[id.index]; }
+  Net& net(NetId id) { return nets_[id.index]; }
+
+  int cell_count() const { return static_cast<int>(cells_.size()); }
+  int pin_count() const { return static_cast<int>(pins_.size()); }
+  int net_count() const { return static_cast<int>(nets_.size()); }
+
+  /// Ids of all live cells (skips tombstones).
+  std::vector<CellId> live_cells() const;
+  /// Ids of all live register cells.
+  std::vector<CellId> registers() const;
+
+  geom::Point pin_position(PinId id) const {
+    const Pin& p = pins_[id.index];
+    return cells_[p.cell.index].position + p.offset;
+  }
+
+  // --- register pin helpers ---------------------------------------------
+  PinId register_d_pin(CellId cell, int bit) const;
+  PinId register_q_pin(CellId cell, int bit) const;
+  PinId register_clock_pin(CellId cell) const;
+  /// The register's control pin of `role` (kReset/kSet/kEnable/kScanEnable),
+  /// or an invalid id when the cell's function lacks it.
+  PinId register_control_pin(CellId cell, PinRole role) const;
+  /// Net driving the register's clock pin (invalid when unconnected).
+  NetId register_clock_net(CellId cell) const;
+
+  // --- statistics ---------------------------------------------------------
+  DesignStats stats() const;
+
+  /// Total half-perimeter wire-length split into clock nets and the rest
+  /// (Table 1's two wire-length columns), in um.
+  struct WireLength {
+    double clock = 0.0;
+    double other = 0.0;
+  };
+  WireLength wire_length() const;
+
+  /// HPWL of one net (0 for nets with < 2 connected pins).
+  double net_hpwl(NetId id) const;
+
+  /// Consistency check: pins point at their cells/nets, net driver/sink
+  /// lists match pin.net fields, dead cells have no connected pins. Throws
+  /// util::AssertionError on violation; cheap enough to call in tests.
+  void check_consistency() const;
+
+private:
+  PinId add_pin(CellId cell, PinRole role, bool is_output, int bit,
+                geom::Point offset, double cap);
+
+  const lib::Library* library_;
+  geom::Rect core_;
+  std::vector<Cell> cells_;
+  std::vector<Pin> pins_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace mbrc::netlist

@@ -1,0 +1,43 @@
+// Plain-text serialization of a placed design.
+//
+// Format (line-oriented, whitespace-separated, '#' comments):
+//
+//   mbrc-design 1
+//   core <xlo> <ylo> <xhi> <yhi>
+//   cell <name> <kind> <libcell|-> <x> <y> <fixed> <size_only>
+//        <scan_partition> <scan_section> <scan_order> <gating_group>
+//   port <name> <in|out> <x> <y>
+//   net <clock|signal> <npins> (<cell_index> <pin_ordinal>)*
+//
+// Cells appear in id order; nets reference cells by their index in that
+// order and pins by their ordinal inside Cell::pins (stable for a given
+// library). Dead cells are not written, so ids are compacted on save.
+// Loading requires the same library the design was built against (cells
+// are looked up by library cell name).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace mbrc::netlist {
+
+/// Writes `design` to `os`. Throws util::AssertionError on an inconsistent
+/// design.
+void save_design(const Design& design, std::ostream& os);
+
+/// Convenience: save to a file. Returns false when the file cannot be
+/// opened.
+bool save_design_file(const Design& design, const std::string& path);
+
+/// Reads a design written by save_design. Throws util::AssertionError on
+/// malformed input or unknown library cells.
+Design load_design(const lib::Library& library, std::istream& is);
+
+/// Convenience: load from a file; throws on parse errors, returns nullopt
+/// when the file cannot be opened.
+std::optional<Design> load_design_file(const lib::Library& library,
+                                       const std::string& path);
+
+}  // namespace mbrc::netlist

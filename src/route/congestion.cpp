@@ -1,0 +1,121 @@
+#include "route/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mbrc::route {
+
+CongestionMap::CongestionMap(geom::Rect core, const RouteOptions& options)
+    : core_(core), options_(options) {
+  MBRC_ASSERT(!core.is_empty() && options.gcell_size > 0);
+  width_ = std::max(1, static_cast<int>(std::ceil(core.width() /
+                                                  options.gcell_size)));
+  height_ = std::max(1, static_cast<int>(std::ceil(core.height() /
+                                                   options.gcell_size)));
+  h_demand_.assign(static_cast<std::size_t>(width_) * height_, 0.0);
+  v_demand_.assign(static_cast<std::size_t>(width_) * height_, 0.0);
+}
+
+int CongestionMap::gx_of(double x) const {
+  const int g = static_cast<int>((x - core_.xlo) / options_.gcell_size);
+  return std::clamp(g, 0, width_ - 1);
+}
+
+int CongestionMap::gy_of(double y) const {
+  const int g = static_cast<int>((y - core_.ylo) / options_.gcell_size);
+  return std::clamp(g, 0, height_ - 1);
+}
+
+int CongestionMap::overflow_edges() const {
+  int count = 0;
+  for (int gy = 0; gy < height_; ++gy) {
+    for (int gx = 0; gx < width_; ++gx) {
+      // The rightmost column has no right edge; the top row no up edge.
+      if (gx + 1 < width_ && h_demand_[index(gx, gy)] > options_.h_capacity)
+        ++count;
+      if (gy + 1 < height_ && v_demand_[index(gx, gy)] > options_.v_capacity)
+        ++count;
+    }
+  }
+  return count;
+}
+
+double CongestionMap::total_overflow() const {
+  double total = 0.0;
+  for (int gy = 0; gy < height_; ++gy) {
+    for (int gx = 0; gx < width_; ++gx) {
+      if (gx + 1 < width_)
+        total += std::max(0.0, h_demand_[index(gx, gy)] - options_.h_capacity);
+      if (gy + 1 < height_)
+        total += std::max(0.0, v_demand_[index(gx, gy)] - options_.v_capacity);
+    }
+  }
+  return total;
+}
+
+double CongestionMap::max_utilization() const {
+  double peak = 0.0;
+  for (int gy = 0; gy < height_; ++gy) {
+    for (int gx = 0; gx < width_; ++gx) {
+      if (gx + 1 < width_)
+        peak = std::max(peak, h_demand_[index(gx, gy)] / options_.h_capacity);
+      if (gy + 1 < height_)
+        peak = std::max(peak, v_demand_[index(gx, gy)] / options_.v_capacity);
+    }
+  }
+  return peak;
+}
+
+CongestionMap estimate_congestion(const netlist::Design& design,
+                                  const RouteOptions& options) {
+  CongestionMap map(design.core(), options);
+
+  for (std::int32_t i = 0; i < design.net_count(); ++i) {
+    const netlist::NetId net_id{i};
+    const netlist::Net& net = design.net(net_id);
+    if (net.is_clock) continue;
+
+    geom::Rect box = geom::Rect::empty();
+    int pins = 0;
+    auto add_pin = [&](netlist::PinId pin) {
+      const geom::Point pos = design.pin_position(pin);
+      box = box.expand(pos);
+      ++pins;
+      map.add_h_demand(map.gx_of(pos.x), map.gy_of(pos.y), options.pin_demand);
+      map.add_v_demand(map.gx_of(pos.x), map.gy_of(pos.y), options.pin_demand);
+    };
+    if (net.driver.valid()) add_pin(net.driver);
+    for (netlist::PinId s : net.sinks) add_pin(s);
+    if (pins < 2) continue;
+
+    const int gx_lo = map.gx_of(box.xlo);
+    const int gx_hi = map.gx_of(box.xhi);
+    const int gy_lo = map.gy_of(box.ylo);
+    const int gy_hi = map.gy_of(box.yhi);
+    const int cols = gx_hi - gx_lo + 1;
+    const int rows = gy_hi - gy_lo + 1;
+
+    // Multi-pin nets need roughly (pins-1)/2 extra traversals of the box.
+    const double strands = 1.0 + std::max(0, pins - 2) * 0.25;
+
+    // Horizontal demand: the net crosses each column once, spread uniformly
+    // over the rows of the bounding box (probability 1/rows per row).
+    if (cols > 1) {
+      const double per_edge = strands / rows;
+      for (int gy = gy_lo; gy <= gy_hi; ++gy)
+        for (int gx = gx_lo; gx < gx_hi; ++gx)
+          map.add_h_demand(gx, gy, per_edge);
+    }
+    if (rows > 1) {
+      const double per_edge = strands / cols;
+      for (int gx = gx_lo; gx <= gx_hi; ++gx)
+        for (int gy = gy_lo; gy < gy_hi; ++gy)
+          map.add_v_demand(gx, gy, per_edge);
+    }
+  }
+  return map;
+}
+
+}  // namespace mbrc::route

@@ -1,0 +1,70 @@
+// Probabilistic routing-congestion estimation.
+//
+// Signal nets deposit horizontal/vertical routing demand uniformly over the
+// global-routing cells (gcells) of their bounding box -- the standard
+// bounding-box probabilistic model (Sapatnekar et al., the paper's ref [15]).
+// An edge between adjacent gcells overflows when its demand exceeds its track
+// capacity; Table 1 reports the count of such overflow edges.
+//
+// Clock nets are excluded: they are routed as a buffered tree (see src/cts),
+// not as a flat net, so their flat bounding box would be meaningless.
+#pragma once
+
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace mbrc::route {
+
+struct RouteOptions {
+  double gcell_size = 10.0;     // um
+  /// Track capacities per gcell edge. A 10 um gcell at 28 nm spans ~100
+  /// routing tracks per layer; with 2-3 signal layers per direction and
+  /// ~70% usable by the router, ~110-130 tracks is a realistic budget.
+  double h_capacity = 130.0;    // tracks per horizontal gcell edge
+  double v_capacity = 115.0;    // tracks per vertical gcell edge
+  /// Extra demand per cell pin in its gcell (local/pin-access routing).
+  double pin_demand = 0.05;
+};
+
+class CongestionMap {
+public:
+  CongestionMap(geom::Rect core, const RouteOptions& options);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  double h_demand(int gx, int gy) const { return h_demand_[index(gx, gy)]; }
+  double v_demand(int gx, int gy) const { return v_demand_[index(gx, gy)]; }
+
+  void add_h_demand(int gx, int gy, double d) { h_demand_[index(gx, gy)] += d; }
+  void add_v_demand(int gx, int gy, double d) { v_demand_[index(gx, gy)] += d; }
+
+  int gx_of(double x) const;
+  int gy_of(double y) const;
+
+  /// Number of gcell edges whose demand exceeds capacity.
+  int overflow_edges() const;
+  /// Total demand above capacity, summed over overflowing edges (tracks).
+  double total_overflow() const;
+  /// Peak demand / capacity over all edges.
+  double max_utilization() const;
+
+  const RouteOptions& options() const { return options_; }
+
+private:
+  int index(int gx, int gy) const { return gy * width_ + gx; }
+
+  geom::Rect core_;
+  RouteOptions options_;
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<double> h_demand_;  // demand on the edge to the right of gcell
+  std::vector<double> v_demand_;  // demand on the edge above the gcell
+};
+
+/// Builds the congestion map for all live signal nets of `design`.
+CongestionMap estimate_congestion(const netlist::Design& design,
+                                  const RouteOptions& options = {});
+
+}  // namespace mbrc::route

@@ -1,0 +1,353 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mbrc::sta {
+
+namespace {
+
+using netlist::CellId;
+using netlist::CellKind;
+using netlist::Design;
+using netlist::NetId;
+using netlist::Pin;
+using netlist::PinId;
+using netlist::PinRole;
+
+// kOhm * fF = ps; delays are kept in ns.
+constexpr double kNsPerKohmFf = 1e-3;
+
+bool is_launch_role(PinRole role) {
+  return role == PinRole::kQ || role == PinRole::kScanOut;
+}
+bool is_endpoint_role(PinRole role) {
+  return role == PinRole::kD || role == PinRole::kScanIn;
+}
+
+struct Analyzer {
+  const Design& design;
+  const TimingOptions& options;
+  const SkewMap& skew;
+
+  std::vector<double> arrival;
+  std::vector<double> arrival_min;
+  std::vector<double> required;
+  std::vector<int> indegree;
+  std::vector<PinId> topo;
+
+  Analyzer(const Design& d, const TimingOptions& o, const SkewMap& s)
+      : design(d), options(o), skew(s) {}
+
+  double register_skew(CellId cell) const {
+    const auto it = skew.find(cell);
+    return it == skew.end() ? 0.0 : it->second;
+  }
+
+  // Total capacitive load a driver pin sees: connected sink pin caps plus
+  // distributed wire cap over the net's HPWL.
+  double driver_load(PinId driver) const {
+    const Pin& p = design.pin(driver);
+    if (!p.net.valid()) return 0.0;
+    double load = design.net_hpwl(p.net) * options.wire_cap_per_um;
+    for (PinId s : design.net(p.net).sinks) load += design.pin(s).cap;
+    return load;
+  }
+
+  // Elmore wire delay from driver to one sink on the same net.
+  double wire_delay(PinId driver, PinId sink) const {
+    const double len =
+        geom::manhattan(design.pin_position(driver), design.pin_position(sink));
+    const double r = options.wire_res_per_um * len;
+    const double c = options.wire_cap_per_um * len;
+    return r * (c / 2 + design.pin(sink).cap) * kNsPerKohmFf;
+  }
+
+  // Delay of the cell arc ending at output pin `out` (comb input -> output or
+  // clock buffer in -> out). Register clk->Q launch delay is handled at the
+  // launch initialization.
+  double cell_arc_delay(PinId out) const {
+    const Pin& p = design.pin(out);
+    const netlist::Cell& cell = design.cell(p.cell);
+    double intrinsic = 0.0;
+    double resistance = 0.0;
+    switch (cell.kind) {
+      case CellKind::kComb:
+        intrinsic = cell.comb->intrinsic_delay;
+        resistance = cell.comb->drive_resistance;
+        break;
+      case CellKind::kClockBuffer:
+        intrinsic = cell.buf->intrinsic_delay;
+        resistance = cell.buf->drive_resistance;
+        break;
+      default:
+        return 0.0;
+    }
+    return intrinsic + resistance * driver_load(out) * kNsPerKohmFf;
+  }
+
+  double launch_delay(PinId q_pin) const {
+    const Pin& p = design.pin(q_pin);
+    const netlist::Cell& cell = design.cell(p.cell);
+    return cell.reg->intrinsic_delay +
+           cell.reg->drive_resistance * driver_load(q_pin) * kNsPerKohmFf;
+  }
+
+  // Data-graph successors of a pin, passed to `fn(PinId succ, double delay)`.
+  template <class Fn>
+  void for_each_successor(PinId pin_id, Fn&& fn) const {
+    const Pin& p = design.pin(pin_id);
+    if (p.is_output) {
+      if (!p.net.valid() || design.net(p.net).is_clock) return;
+      for (PinId s : design.net(p.net).sinks)
+        fn(s, wire_delay(pin_id, s));
+      return;
+    }
+    // Input pin: arcs to the output pin(s) of the same cell.
+    const netlist::Cell& cell = design.cell(p.cell);
+    switch (cell.kind) {
+      case CellKind::kComb:
+        if (p.role == PinRole::kCombIn) {
+          for (PinId out : cell.pins)
+            if (design.pin(out).role == PinRole::kCombOut)
+              fn(out, cell_arc_delay(out));
+        }
+        break;
+      case CellKind::kClockBuffer:
+        if (p.role == PinRole::kBufIn) {
+          for (PinId out : cell.pins)
+            if (design.pin(out).role == PinRole::kBufOut)
+              fn(out, cell_arc_delay(out));
+        }
+        break;
+      default:
+        break;  // register inputs and ports are endpoints: no data arcs out
+    }
+  }
+
+  void topological_sort() {
+    const int n = design.pin_count();
+    indegree.assign(n, 0);
+    for (std::int32_t i = 0; i < n; ++i) {
+      const PinId pin{i};
+      if (design.cell(design.pin(pin).cell).dead) continue;
+      for_each_successor(pin, [&](PinId succ, double) {
+        ++indegree[succ.index];
+      });
+    }
+    topo.clear();
+    topo.reserve(n);
+    std::vector<PinId> queue;
+    for (std::int32_t i = 0; i < n; ++i)
+      if (indegree[i] == 0 && !design.cell(design.pin(PinId{i}).cell).dead)
+        queue.push_back(PinId{i});
+    std::size_t head = 0;
+    std::vector<PinId> work = std::move(queue);
+    while (head < work.size()) {
+      const PinId pin = work[head++];
+      topo.push_back(pin);
+      for_each_successor(pin, [&](PinId succ, double) {
+        if (--indegree[succ.index] == 0) work.push_back(succ);
+      });
+    }
+    int live_pins = 0;
+    for (std::int32_t i = 0; i < n; ++i)
+      if (!design.cell(design.pin(PinId{i}).cell).dead) ++live_pins;
+    MBRC_ASSERT_MSG(static_cast<int>(topo.size()) == live_pins,
+                    "combinational cycle in design");
+  }
+
+  TimingReport run() {
+    topological_sort();
+    const int n = design.pin_count();
+    arrival.assign(n, kNoArrival);
+    arrival_min.assign(n, kNoRequired);  // +inf = unreachable for min pass
+    required.assign(n, kNoRequired);
+
+    // Launch initialization. Launch timing is single-arc here, so the min
+    // and max launch arrivals coincide.
+    for (const PinId pin_id : topo) {
+      const Pin& p = design.pin(pin_id);
+      const netlist::Cell& cell = design.cell(p.cell);
+      if (cell.kind == CellKind::kRegister && is_launch_role(p.role)) {
+        arrival[pin_id.index] = register_skew(p.cell) + launch_delay(pin_id);
+        arrival_min[pin_id.index] = arrival[pin_id.index];
+      } else if (cell.kind == CellKind::kPort && p.is_output) {
+        arrival[pin_id.index] = options.input_delay;
+        arrival_min[pin_id.index] = options.input_delay;
+      }
+    }
+
+    // Forward propagation: latest (setup) and earliest (hold) arrivals.
+    for (const PinId pin_id : topo) {
+      const double a = arrival[pin_id.index];
+      const double a_min = arrival_min[pin_id.index];
+      for_each_successor(pin_id, [&](PinId succ, double delay) {
+        if (a != kNoArrival)
+          arrival[succ.index] = std::max(arrival[succ.index], a + delay);
+        if (a_min != kNoRequired)
+          arrival_min[succ.index] =
+              std::min(arrival_min[succ.index], a_min + delay);
+      });
+    }
+
+    // Endpoint required times and slacks (setup + hold).
+    TimingReport report;
+    for (const PinId pin_id : topo) {
+      const Pin& p = design.pin(pin_id);
+      const netlist::Cell& cell = design.cell(p.cell);
+      double req = kNoRequired;
+      double hold_req = kNoRequired;
+      if (cell.kind == CellKind::kRegister && is_endpoint_role(p.role)) {
+        if (p.net.valid()) {
+          req = options.clock_period + register_skew(p.cell) -
+                cell.reg->setup_time;
+          hold_req = register_skew(p.cell) + cell.reg->hold_time;
+        }
+      } else if (cell.kind == CellKind::kPort && !p.is_output) {
+        if (p.net.valid())
+          req = options.clock_period - options.output_margin;
+      }
+      if (req != kNoRequired) {
+        required[pin_id.index] = req;
+        if (arrival[pin_id.index] != kNoArrival) {
+          EndpointSlack ep;
+          ep.pin = pin_id;
+          ep.slack = req - arrival[pin_id.index];
+          ep.hold_slack = (hold_req != kNoRequired &&
+                           arrival_min[pin_id.index] != kNoRequired)
+                              ? arrival_min[pin_id.index] - hold_req
+                              : kNoRequired;
+          report.endpoints.push_back(ep);
+        }
+      }
+    }
+
+    // Hold-side endpoint requirements feed the backward min pass.
+    std::vector<double> req_min(n, kNoArrival);
+    for (const EndpointSlack& ep : report.endpoints) {
+      if (ep.hold_slack == kNoRequired) continue;
+      // Reconstruct the endpoint's hold requirement from its slack.
+      req_min[ep.pin.index] = arrival_min[ep.pin.index] - ep.hold_slack;
+    }
+
+    // Backward propagation of required times (setup: min; hold: max).
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const PinId pin_id = *it;
+      for_each_successor(pin_id, [&](PinId succ, double delay) {
+        if (required[succ.index] != kNoRequired)
+          required[pin_id.index] =
+              std::min(required[pin_id.index], required[succ.index] - delay);
+        if (req_min[succ.index] != kNoArrival)
+          req_min[pin_id.index] =
+              std::max(req_min[pin_id.index], req_min[succ.index] - delay);
+      });
+    }
+    report.required_min = std::move(req_min);
+
+    report.arrival = std::move(arrival);
+    report.arrival_min = std::move(arrival_min);
+    report.required = std::move(required);
+    return report;
+  }
+};
+
+}  // namespace
+
+double TimingReport::wns() const {
+  double w = 0.0;
+  for (const EndpointSlack& e : endpoints) w = std::min(w, e.slack);
+  return w;
+}
+
+double TimingReport::tns() const {
+  double t = 0.0;
+  for (const EndpointSlack& e : endpoints)
+    if (e.slack < 0) t += e.slack;
+  return t;
+}
+
+int TimingReport::failing_endpoints() const {
+  int n = 0;
+  for (const EndpointSlack& e : endpoints)
+    if (e.slack < 0) ++n;
+  return n;
+}
+
+double TimingReport::hold_wns() const {
+  double w = 0.0;
+  for (const EndpointSlack& e : endpoints)
+    if (e.hold_slack != kNoRequired) w = std::min(w, e.hold_slack);
+  return w;
+}
+
+int TimingReport::failing_hold_endpoints() const {
+  int n = 0;
+  for (const EndpointSlack& e : endpoints)
+    if (e.hold_slack != kNoRequired && e.hold_slack < 0) ++n;
+  return n;
+}
+
+double TimingReport::register_d_hold_slack(const netlist::Design& design,
+                                           netlist::CellId reg) const {
+  const netlist::Cell& cell = design.cell(reg);
+  double worst = kNoRequired;
+  for (netlist::PinId pin_id : cell.pins) {
+    const netlist::Pin& p = design.pin(pin_id);
+    if ((p.role == netlist::PinRole::kD ||
+         p.role == netlist::PinRole::kScanIn) &&
+        p.net.valid())
+      worst = std::min(worst, hold_slack(pin_id));
+  }
+  return worst;
+}
+
+double TimingReport::register_q_hold_slack(const netlist::Design& design,
+                                           netlist::CellId reg) const {
+  const netlist::Cell& cell = design.cell(reg);
+  double worst = kNoRequired;
+  for (netlist::PinId pin_id : cell.pins) {
+    const netlist::Pin& p = design.pin(pin_id);
+    if ((p.role == netlist::PinRole::kQ ||
+         p.role == netlist::PinRole::kScanOut) &&
+        p.net.valid())
+      worst = std::min(worst, hold_slack(pin_id));
+  }
+  return worst;
+}
+
+double TimingReport::register_d_slack(const netlist::Design& design,
+                                      netlist::CellId reg) const {
+  const netlist::Cell& cell = design.cell(reg);
+  double worst = kNoRequired;
+  for (netlist::PinId pin_id : cell.pins) {
+    const netlist::Pin& p = design.pin(pin_id);
+    if ((p.role == netlist::PinRole::kD || p.role == netlist::PinRole::kScanIn) &&
+        p.net.valid())
+      worst = std::min(worst, slack(pin_id));
+  }
+  return worst;
+}
+
+double TimingReport::register_q_slack(const netlist::Design& design,
+                                      netlist::CellId reg) const {
+  const netlist::Cell& cell = design.cell(reg);
+  double worst = kNoRequired;
+  for (netlist::PinId pin_id : cell.pins) {
+    const netlist::Pin& p = design.pin(pin_id);
+    if ((p.role == netlist::PinRole::kQ || p.role == netlist::PinRole::kScanOut) &&
+        p.net.valid())
+      worst = std::min(worst, slack(pin_id));
+  }
+  return worst;
+}
+
+TimingReport run_sta(const netlist::Design& design,
+                     const TimingOptions& options, const SkewMap& skew) {
+  Analyzer analyzer(design, options, skew);
+  return analyzer.run();
+}
+
+}  // namespace mbrc::sta

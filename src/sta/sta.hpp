@@ -1,0 +1,104 @@
+// Graph-based static timing analysis over the placed netlist.
+//
+// Delay model (matching the library's linear model, Sec. 4.1 of the paper):
+//   gate arc:  delay = intrinsic + R_drive * (wire cap + sink pin caps)
+//   wire arc:  Elmore on Manhattan length from driver to each sink.
+// The clock is ideal at the register clock pins except for an explicit
+// per-register useful-skew offset (Sec. 1/5: useful skew is applied to the
+// composed MBRs after composition).
+//
+// Launch points: register Q/SO pins and input ports. Capture points
+// (endpoints): register D/SI pins (setup check against period + skew) and
+// output ports. Register cells cut the graph, so a synthesizable netlist
+// yields a DAG; a combinational cycle is reported as an error.
+#pragma once
+
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace mbrc::sta {
+
+struct TimingOptions {
+  double clock_period = 1.0;      // ns
+  double wire_cap_per_um = 0.20;  // fF / um
+  double wire_res_per_um = 0.003; // kOhm / um
+  double input_delay = 0.05;      // ns of arrival at input ports
+  double output_margin = 0.05;    // ns subtracted from output-port required
+};
+
+/// Per-register clock arrival offsets (useful skew), in ns. Registers not in
+/// the map have zero skew.
+using SkewMap = std::unordered_map<netlist::CellId, double>;
+
+constexpr double kNoArrival = -std::numeric_limits<double>::infinity();
+constexpr double kNoRequired = std::numeric_limits<double>::infinity();
+
+struct EndpointSlack {
+  netlist::PinId pin;
+  double slack = 0.0;       // setup (max-delay) slack
+  double hold_slack = 0.0;  // hold (min-delay) slack; kNoRequired if unchecked
+};
+
+/// Result of one STA run. Pin arrays are indexed by PinId.
+class TimingReport {
+public:
+  std::vector<double> arrival;      // latest arrival; kNoArrival if unreachable
+  std::vector<double> arrival_min;  // earliest arrival (hold analysis)
+  std::vector<double> required;     // kNoRequired when unconstrained
+  std::vector<double> required_min; // hold-side required; kNoArrival (-inf)
+                                    // when no hold check is downstream
+  std::vector<EndpointSlack> endpoints;
+
+  double slack(netlist::PinId pin) const {
+    const double a = arrival[pin.index];
+    const double r = required[pin.index];
+    if (a == kNoArrival || r == kNoRequired) return kNoRequired;
+    return r - a;
+  }
+
+  /// Hold slack at a pin: earliest arrival minus the hold-side required
+  /// time; kNoRequired when no hold check constrains the pin.
+  double hold_slack(netlist::PinId pin) const {
+    const double a = arrival_min[pin.index];
+    const double r = required_min[pin.index];
+    if (a == kNoRequired || r == kNoArrival) return kNoRequired;
+    return a - r;
+  }
+
+  /// Worst negative slack (0 when nothing fails).
+  double wns() const;
+  /// Total negative slack over endpoints (ns, <= 0).
+  double tns() const;
+  int failing_endpoints() const;
+  int total_endpoints() const { return static_cast<int>(endpoints.size()); }
+
+  /// Hold-side aggregates (register D endpoints only; ports carry no hold
+  /// check in this model).
+  double hold_wns() const;
+  int failing_hold_endpoints() const;
+
+  /// Worst slack over the register's D (and SI) pins; kNoRequired when the
+  /// register has no constrained data input.
+  double register_d_slack(const netlist::Design& design,
+                          netlist::CellId reg) const;
+  /// Worst slack over the register's Q (and SO) pins.
+  double register_q_slack(const netlist::Design& design,
+                          netlist::CellId reg) const;
+
+  /// Worst *hold* slack over the register's D/SI pins (its own capture
+  /// checks) and over its Q/SO pins (the downstream capture checks its
+  /// launches feed). Used by hold-aware useful skew.
+  double register_d_hold_slack(const netlist::Design& design,
+                               netlist::CellId reg) const;
+  double register_q_hold_slack(const netlist::Design& design,
+                               netlist::CellId reg) const;
+};
+
+/// Runs STA. `skew` supplies per-register useful-skew offsets.
+TimingReport run_sta(const netlist::Design& design,
+                     const TimingOptions& options, const SkewMap& skew = {});
+
+}  // namespace mbrc::sta

@@ -1,0 +1,42 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// MBRC_ASSERT is active in all build types: the composition flow mutates a
+// netlist in place, and a silently-corrupted netlist is far more expensive to
+// debug than the cost of the checks (the hot loops avoid asserting per
+// element). Failures throw mbrc::util::AssertionError so tests can verify
+// that invalid API use is rejected.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mbrc::util {
+
+/// Thrown when a precondition or internal invariant is violated.
+class AssertionError : public std::logic_error {
+public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void assertion_failure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": assertion `" << expr << "` failed";
+  if (!msg.empty()) os << ": " << msg;
+  throw AssertionError(os.str());
+}
+
+}  // namespace mbrc::util
+
+#define MBRC_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::mbrc::util::assertion_failure(#expr, __FILE__, __LINE__, {});      \
+  } while (0)
+
+#define MBRC_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::mbrc::util::assertion_failure(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic parts of the library (benchmark generator, partitioning
+// tie-breaks, property tests) draw from this generator so that every run of
+// every bench reproduces the same tables. xoshiro256** is used for speed and
+// statistical quality; seeding goes through SplitMix64 as recommended by the
+// xoshiro authors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace mbrc::util {
+
+/// SplitMix64 step; used to expand a 64-bit seed into a xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6d624253eed17ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    MBRC_ASSERT(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+    // Debiased modulo (Lemire-style rejection).
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    MBRC_ASSERT(lo <= hi);
+    // 53 random mantissa bits -> uniform in [0, 1).
+    const double unit =
+        static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    return lo + unit * (hi - lo);
+  }
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool chance(double p) { return uniform_real(0.0, 1.0) < p; }
+
+  /// Approximately normal deviate (sum of uniforms; adequate for workload
+  /// synthesis, avoids libm dependencies in hot loops).
+  double gaussian(double mean, double stddev) {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += uniform_real(0.0, 1.0);
+    return mean + (acc - 6.0) * stddev;
+  }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mbrc::util

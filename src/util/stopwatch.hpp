@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used to report per-phase runtimes in the benches
+// (Table 1's "Exec. Time" column).
+#pragma once
+
+#include <chrono>
+
+namespace mbrc::util {
+
+class Stopwatch {
+public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last reset, in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mbrc::util

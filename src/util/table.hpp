@@ -1,0 +1,81 @@
+// Plain-text table printer used by the bench binaries to emit paper-style
+// tables (Table 1 rows, figure series) with aligned columns.
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mbrc::util {
+
+/// Collects rows of string cells and prints them with per-column alignment.
+class Table {
+public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  Table& cell(const std::string& value) {
+    MBRC_ASSERT_MSG(!rows_.empty(), "call row() before cell()");
+    rows_.back().push_back(value);
+    return *this;
+  }
+
+  Table& cell(double value, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return cell(os.str());
+  }
+
+  Table& cell(std::int64_t value) { return cell(std::to_string(value)); }
+  Table& cell(int value) { return cell(std::to_string(value)); }
+  Table& cell(std::size_t value) { return cell(std::to_string(value)); }
+
+  /// Formats `fraction` (e.g. 0.291) as a percentage cell ("29.1 %").
+  Table& percent(double fraction, int precision = 1) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << fraction * 100.0
+       << " %";
+    return cell(os.str());
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      os << "| ";
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& text = c < cells.size() ? cells[c] : std::string{};
+        os << std::left << std::setw(static_cast<int>(widths[c])) << text
+           << " | ";
+      }
+      os << '\n';
+    };
+
+    print_row(header_);
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c)
+      os << std::string(widths[c] + 2, '-') << '|';
+    os << '\n';
+    for (const auto& r : rows_) print_row(r);
+  }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mbrc::util

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "benchgen/generator.hpp"
+#include "mbr/compatibility.hpp"
+#include "place/legalizer.hpp"
+#include "sta/sta.hpp"
+
+namespace mbrc::benchgen {
+namespace {
+
+class GeneratorFixture : public ::testing::Test {
+protected:
+  lib::Library library = lib::make_default_library();
+
+  DesignProfile small_profile() {
+    DesignProfile p;
+    p.register_cells = 500;
+    p.comb_per_register = 4.0;
+    p.seed = 77;
+    return p;
+  }
+};
+
+TEST_F(GeneratorFixture, ProducesRequestedRegisterCount) {
+  const GeneratedDesign gen = generate_design(library, small_profile());
+  EXPECT_EQ(gen.design.stats().total_registers, 500);
+  gen.design.check_consistency();
+}
+
+TEST_F(GeneratorFixture, DeterministicPerSeed) {
+  const GeneratedDesign a = generate_design(library, small_profile());
+  const GeneratedDesign b = generate_design(library, small_profile());
+  EXPECT_EQ(a.design.cell_count(), b.design.cell_count());
+  EXPECT_EQ(a.design.net_count(), b.design.net_count());
+  EXPECT_DOUBLE_EQ(a.calibrated_clock_period, b.calibrated_clock_period);
+  for (int i = 0; i < a.design.cell_count(); ++i) {
+    EXPECT_EQ(a.design.cell(netlist::CellId{i}).position,
+              b.design.cell(netlist::CellId{i}).position);
+  }
+  DesignProfile other = small_profile();
+  other.seed = 78;
+  const GeneratedDesign c = generate_design(library, other);
+  bool any_difference = a.design.cell_count() != c.design.cell_count();
+  for (int i = 0; !any_difference && i < std::min(a.design.cell_count(),
+                                                  c.design.cell_count());
+       ++i)
+    any_difference |= a.design.cell(netlist::CellId{i}).position !=
+                      c.design.cell(netlist::CellId{i}).position;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(GeneratorFixture, PlacementIsLegal) {
+  const GeneratedDesign gen = generate_design(library, small_profile());
+  place::RowGrid grid(gen.design.core(), {});
+  for (netlist::CellId id : gen.design.live_cells()) {
+    const netlist::Cell& cell = gen.design.cell(id);
+    if (cell.kind == netlist::CellKind::kPort) continue;
+    EXPECT_TRUE(grid.occupy(grid.row_of(cell.position.y), cell.position.x,
+                            cell.width(), id))
+        << "overlap: " << cell.name;
+  }
+}
+
+TEST_F(GeneratorFixture, CalibrationHitsFailingFraction) {
+  DesignProfile profile = small_profile();
+  profile.failing_endpoint_fraction = 0.38;
+  const GeneratedDesign gen = generate_design(library, profile);
+  sta::TimingOptions timing;
+  timing.clock_period = gen.calibrated_clock_period;
+  const sta::TimingReport report = sta::run_sta(gen.design, timing);
+  const double fraction = static_cast<double>(report.failing_endpoints()) /
+                          report.total_endpoints();
+  EXPECT_NEAR(fraction, 0.38, 0.06);
+}
+
+TEST_F(GeneratorFixture, WidthMixRoughlyHonored) {
+  DesignProfile profile = small_profile();
+  profile.register_cells = 2000;
+  profile.width_mix = {{1, 0.5}, {2, 0.2}, {4, 0.2}, {8, 0.1}};
+  const GeneratedDesign gen = generate_design(library, profile);
+  std::map<int, int> histogram;
+  for (netlist::CellId reg : gen.design.registers())
+    ++histogram[gen.design.cell(reg).reg->bits];
+  EXPECT_NEAR(histogram[1] / 2000.0, 0.5, 0.08);
+  EXPECT_NEAR(histogram[2] / 2000.0, 0.2, 0.08);
+  EXPECT_NEAR(histogram[8] / 2000.0, 0.1, 0.06);
+}
+
+TEST_F(GeneratorFixture, DesignerConstraintsApplied) {
+  DesignProfile profile = small_profile();
+  profile.register_cells = 2000;
+  profile.fixed_fraction = 0.10;
+  profile.size_only_fraction = 0.10;
+  const GeneratedDesign gen = generate_design(library, profile);
+  int fixed = 0, size_only = 0;
+  for (netlist::CellId reg : gen.design.registers()) {
+    fixed += gen.design.cell(reg).fixed;
+    size_only += gen.design.cell(reg).size_only;
+  }
+  EXPECT_NEAR(fixed / 2000.0, 0.10, 0.04);
+  EXPECT_NEAR(size_only / 2000.0, 0.10, 0.04);
+  // Fixed/size-only registers are not composable.
+  for (netlist::CellId reg : gen.design.registers()) {
+    if (gen.design.cell(reg).fixed || gen.design.cell(reg).size_only)
+      EXPECT_FALSE(mbr::is_composable(gen.design, reg));
+  }
+}
+
+TEST_F(GeneratorFixture, ScanChainsAreStitched) {
+  const GeneratedDesign gen = generate_design(library, small_profile());
+  int scan_regs = 0, connected_si = 0;
+  for (netlist::CellId reg : gen.design.registers()) {
+    const netlist::Cell& cell = gen.design.cell(reg);
+    if (!cell.reg->function.is_scan) continue;
+    ++scan_regs;
+    for (netlist::PinId p : cell.pins)
+      if (gen.design.pin(p).role == netlist::PinRole::kScanIn &&
+          gen.design.pin(p).net.valid())
+        ++connected_si;
+  }
+  EXPECT_GT(scan_regs, 0);
+  // All but one SI per partition is linked.
+  EXPECT_GE(connected_si, scan_regs - 8);
+}
+
+TEST_F(GeneratorFixture, StandardProfilesMatchTableOneStructure) {
+  const auto profiles = standard_profiles();
+  ASSERT_EQ(profiles.size(), 5u);
+  EXPECT_EQ(profiles[0].name, "D1");
+  EXPECT_EQ(profiles[3].name, "D4");
+  // D4 is the largest and 8-bit rich.
+  EXPECT_GT(profiles[3].register_cells, profiles[0].register_cells);
+  EXPECT_GT(profiles[3].width_mix.at(8), profiles[0].width_mix.at(8) * 3);
+  // All seeds distinct (designs must differ).
+  std::set<std::uint64_t> seeds;
+  for (const auto& p : profiles) seeds.insert(p.seed);
+  EXPECT_EQ(seeds.size(), 5u);
+}
+
+TEST_F(GeneratorFixture, ClockDomainsSeparateClockNets) {
+  DesignProfile profile = small_profile();
+  profile.clock_domains = 3;
+  const GeneratedDesign gen = generate_design(library, profile);
+  std::set<std::int32_t> clock_nets;
+  for (netlist::CellId reg : gen.design.registers())
+    clock_nets.insert(gen.design.register_clock_net(reg).index);
+  EXPECT_EQ(clock_nets.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mbrc::benchgen

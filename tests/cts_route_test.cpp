@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "cts/cts.hpp"
+#include "lib/library.hpp"
+#include "route/congestion.hpp"
+#include "util/rng.hpp"
+
+namespace mbrc {
+namespace {
+
+class ClockedFixture : public ::testing::Test {
+protected:
+  ClockedFixture()
+      : library(lib::make_default_library()),
+        design(&library, {0, 0, 300, 300}) {}
+
+  // Sprinkles `count` registers of `cell_name` uniformly; all on one clock.
+  std::vector<netlist::CellId> add_registers(const std::string& cell_name,
+                                             int count,
+                                             int gating_group = 0) {
+    const auto* cell = library.register_by_name(cell_name);
+    EXPECT_NE(cell, nullptr);
+    if (!clock.valid()) clock = design.create_net(true);
+    std::vector<netlist::CellId> out;
+    for (int i = 0; i < count; ++i) {
+      const geom::Point pos{rng.uniform_real(0, 280),
+                            rng.uniform_real(0, 280)};
+      const netlist::CellId reg = design.add_register(
+          cell_name + "_" + std::to_string(counter++), cell, pos);
+      design.cell(reg).gating_group = gating_group;
+      design.connect(design.register_clock_pin(reg), clock);
+      out.push_back(reg);
+    }
+    return out;
+  }
+
+  lib::Library library;
+  netlist::Design design;
+  netlist::NetId clock;
+  util::Rng rng{99};
+  int counter = 0;
+};
+
+TEST_F(ClockedFixture, TreeCoversAllSinks) {
+  add_registers("DFFP_B1_X1", 200);
+  const cts::ClockTreeStats stats = cts::estimate_clock_tree(design);
+  EXPECT_EQ(stats.sinks, 200);
+  EXPECT_GT(stats.buffers, 200 / 24);  // at least the fanout bound
+  EXPECT_GT(stats.levels, 0);
+  EXPECT_GT(stats.wire_length, 0.0);
+  EXPECT_GT(stats.total_cap(), stats.sink_cap);
+}
+
+TEST_F(ClockedFixture, FewerSinksMeansSmallerTree) {
+  add_registers("DFFP_B1_X1", 400);
+  const cts::ClockTreeStats big = cts::estimate_clock_tree(design);
+
+  // Remove half the registers: the tree must shrink in every respect.
+  int removed = 0;
+  for (netlist::CellId reg : design.registers()) {
+    if (removed >= 200) break;
+    design.remove_cell(reg);
+    ++removed;
+  }
+  const cts::ClockTreeStats small = cts::estimate_clock_tree(design);
+  EXPECT_EQ(small.sinks, 200);
+  EXPECT_LT(small.buffers, big.buffers);
+  EXPECT_LT(small.wire_length, big.wire_length);
+  EXPECT_LT(small.total_cap(), big.total_cap());
+}
+
+TEST_F(ClockedFixture, MbrSinksCheaperThanSingleBits) {
+  // 256 bits as 256 single-bit sinks vs 32 8-bit sinks.
+  add_registers("DFFP_B1_X1", 256);
+  const cts::ClockTreeStats singles = cts::estimate_clock_tree(design);
+
+  netlist::Design mbr_design(&library, {0, 0, 300, 300});
+  {
+    const auto* cell = library.register_by_name("DFFP_B8_X1");
+    const netlist::NetId clk = mbr_design.create_net(true);
+    util::Rng rng2(99);
+    for (int i = 0; i < 32; ++i) {
+      const netlist::CellId reg = mbr_design.add_register(
+          "m" + std::to_string(i), cell,
+          {rng2.uniform_real(0, 280), rng2.uniform_real(0, 280)});
+      mbr_design.connect(mbr_design.register_clock_pin(reg), clk);
+    }
+  }
+  const cts::ClockTreeStats mbrs = cts::estimate_clock_tree(mbr_design);
+  EXPECT_LT(mbrs.sink_cap, singles.sink_cap);
+  EXPECT_LT(mbrs.buffers, singles.buffers);
+  EXPECT_LT(mbrs.total_cap(), singles.total_cap());
+}
+
+TEST_F(ClockedFixture, GatingGroupsFormSeparateSubtrees) {
+  add_registers("DFFP_B1_X1", 60, /*gating_group=*/0);
+  add_registers("DFFP_B1_X1", 60, /*gating_group=*/1);
+  const cts::ClockTreeStats split = cts::estimate_clock_tree(design);
+
+  netlist::Design merged(&library, {0, 0, 300, 300});
+  {
+    const auto* cell = library.register_by_name("DFFP_B1_X1");
+    const netlist::NetId clk = merged.create_net(true);
+    util::Rng rng2(99);
+    for (int i = 0; i < 120; ++i) {
+      const netlist::CellId reg = merged.add_register(
+          "r" + std::to_string(i), cell,
+          {rng2.uniform_real(0, 280), rng2.uniform_real(0, 280)});
+      merged.connect(merged.register_clock_pin(reg), clk);
+    }
+  }
+  const cts::ClockTreeStats joint = cts::estimate_clock_tree(merged);
+  // Split gating needs at least as many buffers (two subtrees + combiner).
+  EXPECT_GE(split.buffers, joint.buffers);
+}
+
+TEST(Congestion, EmptyDesignHasNoOverflow) {
+  lib::Library library = lib::make_default_library();
+  netlist::Design design(&library, {0, 0, 100, 100});
+  const route::CongestionMap map = route::estimate_congestion(design);
+  EXPECT_EQ(map.overflow_edges(), 0);
+  EXPECT_DOUBLE_EQ(map.total_overflow(), 0.0);
+  EXPECT_DOUBLE_EQ(map.max_utilization(), 0.0);
+}
+
+TEST(Congestion, GridDimensions) {
+  lib::Library library = lib::make_default_library();
+  netlist::Design design(&library, {0, 0, 95, 45});
+  route::RouteOptions options;
+  options.gcell_size = 10.0;
+  const route::CongestionMap map = route::estimate_congestion(design, options);
+  EXPECT_EQ(map.width(), 10);
+  EXPECT_EQ(map.height(), 5);
+  EXPECT_EQ(map.gx_of(-5.0), 0);
+  EXPECT_EQ(map.gx_of(96.0), 9);
+}
+
+TEST(Congestion, DemandFollowsNetBoundingBoxes) {
+  lib::Library library = lib::make_default_library();
+  netlist::Design design(&library, {0, 0, 100, 100});
+  const auto* dff = library.register_by_name("DFFP_B1_X1");
+  const netlist::CellId a = design.add_register("a", dff, {5, 5});
+  const netlist::CellId b = design.add_register("b", dff, {85, 5});
+  const netlist::NetId net = design.create_net();
+  design.connect(design.register_q_pin(a, 0), net);
+  design.connect(design.register_d_pin(b, 0), net);
+
+  route::RouteOptions options;
+  options.pin_demand = 0.0;
+  const route::CongestionMap map = route::estimate_congestion(design, options);
+  // Horizontal demand along row 0 within the net's bbox; nothing vertical.
+  EXPECT_GT(map.h_demand(3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(map.v_demand(3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(map.h_demand(3, 5), 0.0);  // other rows untouched
+}
+
+TEST(Congestion, ClockNetsExcluded) {
+  lib::Library library = lib::make_default_library();
+  netlist::Design design(&library, {0, 0, 100, 100});
+  const auto* dff = library.register_by_name("DFFP_B1_X1");
+  const netlist::CellId a = design.add_register("a", dff, {5, 5});
+  const netlist::CellId b = design.add_register("b", dff, {85, 85});
+  const netlist::NetId clk = design.create_net(/*is_clock=*/true);
+  design.connect(design.register_clock_pin(a), clk);
+  design.connect(design.register_clock_pin(b), clk);
+  route::RouteOptions options;
+  options.pin_demand = 0.0;
+  const route::CongestionMap map = route::estimate_congestion(design, options);
+  EXPECT_DOUBLE_EQ(map.max_utilization(), 0.0);
+}
+
+TEST(Congestion, OverflowWhenCapacityTiny) {
+  lib::Library library = lib::make_default_library();
+  netlist::Design design(&library, {0, 0, 100, 100});
+  const auto* dff = library.register_by_name("DFFP_B1_X1");
+  util::Rng rng(5);
+  // Many crossing nets through the center.
+  std::vector<netlist::CellId> regs;
+  for (int i = 0; i < 40; ++i)
+    regs.push_back(design.add_register(
+        "r" + std::to_string(i), dff,
+        {rng.uniform_real(0, 95), rng.uniform_real(0, 95)}));
+  for (int i = 0; i + 1 < 40; i += 2) {
+    const netlist::NetId net = design.create_net();
+    design.connect(design.register_q_pin(regs[i], 0), net);
+    design.connect(design.register_d_pin(regs[i + 1], 0), net);
+  }
+  route::RouteOptions tiny;
+  tiny.h_capacity = 0.01;
+  tiny.v_capacity = 0.01;
+  const route::CongestionMap map = route::estimate_congestion(design, tiny);
+  EXPECT_GT(map.overflow_edges(), 0);
+  EXPECT_GT(map.total_overflow(), 0.0);
+  EXPECT_GT(map.max_utilization(), 1.0);
+}
+
+}  // namespace
+}  // namespace mbrc

@@ -1,0 +1,57 @@
+// End-to-end smoke: generate a small design, run the composition flow, and
+// check the paper's headline properties hold (register count drops, netlist
+// stays consistent, timing does not collapse).
+#include <gtest/gtest.h>
+
+#include "benchgen/generator.hpp"
+#include "mbr/flow.hpp"
+
+namespace mbrc {
+namespace {
+
+TEST(FlowSmoke, SmallDesignEndToEnd) {
+  const lib::Library library = lib::make_default_library();
+
+  benchgen::DesignProfile profile;
+  profile.name = "smoke";
+  profile.seed = 7;
+  profile.register_cells = 400;
+  profile.comb_per_register = 5.0;
+
+  benchgen::GeneratedDesign generated =
+      benchgen::generate_design(library, profile);
+  netlist::Design& design = generated.design;
+  design.check_consistency();
+
+  mbr::FlowOptions options;
+  options.timing.clock_period = generated.calibrated_clock_period;
+
+  const mbr::FlowResult result = mbr::run_composition_flow(design, options);
+  design.check_consistency();
+
+  // Composition happened and reduced the register count.
+  EXPECT_GT(result.mbrs_created, 0);
+  EXPECT_LT(result.after.design.total_registers,
+            result.before.design.total_registers);
+  // Every merge removes members and adds one MBR.
+  EXPECT_EQ(result.before.design.total_registers - result.registers_merged +
+                result.mbrs_created,
+            result.after.design.total_registers);
+  // Register bits are conserved (no incomplete MBR drops bits; extra
+  // physical bits on incomplete cells are not counted as register bits of
+  // members).
+  EXPECT_GE(result.after.design.register_bits,
+            result.before.design.register_bits);
+
+  // Clock capacitance should not increase (the point of the exercise).
+  EXPECT_LE(result.after.clock_cap, result.before.clock_cap * 1.001);
+
+  // Timing does not collapse: TNS may improve but must not degrade much.
+  EXPECT_GE(result.after.tns, result.before.tns * 1.10 - 0.5);
+
+  // Legalization succeeded and moved cells by bounded amounts.
+  EXPECT_TRUE(result.legalization.success);
+}
+
+}  // namespace
+}  // namespace mbrc

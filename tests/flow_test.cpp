@@ -1,0 +1,194 @@
+// Deeper end-to-end flow tests: invariants the paper claims, ablation
+// switches, and determinism.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "benchgen/generator.hpp"
+#include "mbr/flow.hpp"
+
+namespace mbrc::mbr {
+namespace {
+
+class FlowFixture : public ::testing::Test {
+protected:
+  FlowFixture() : library(lib::make_default_library()) {
+    profile.name = "flowtest";
+    profile.seed = 4242;
+    profile.register_cells = 600;
+    profile.comb_per_register = 5.0;
+  }
+
+  FlowResult run(FlowOptions options = {},
+                 std::optional<benchgen::GeneratedDesign>* keep = nullptr) {
+    benchgen::GeneratedDesign generated =
+        benchgen::generate_design(library, profile);
+    options.timing.clock_period = generated.calibrated_clock_period;
+    FlowResult result = run_composition_flow(generated.design, options);
+    generated.design.check_consistency();
+    if (keep) keep->emplace(std::move(generated));
+    return result;
+  }
+
+  lib::Library library;
+  benchgen::DesignProfile profile;
+};
+
+TEST_F(FlowFixture, HeadlineShape) {
+  const FlowResult r = run();
+  // Registers drop by a double-digit percentage.
+  const double save =
+      1.0 - static_cast<double>(r.after.design.total_registers) /
+                static_cast<double>(r.before.design.total_registers);
+  EXPECT_GT(save, 0.10);
+  // Clock tree shrinks.
+  EXPECT_LT(r.after.clock_cap, r.before.clock_cap);
+  EXPECT_LE(r.after.clock_buffers, r.before.clock_buffers);
+  EXPECT_LT(r.after.clock_wire, r.before.clock_wire);
+  // Composable registers shrink faster than total (they are the target).
+  EXPECT_LT(r.after.composable_registers, r.before.composable_registers);
+  // Area does not blow up (incomplete MBRs capped at 5% of *their* members;
+  // total area must stay within a fraction of a percent).
+  EXPECT_LT(r.after.design.area, r.before.design.area * 1.005);
+  // Timing: TNS within noise of the base (the paper reports no degradation).
+  EXPECT_GE(r.after.tns, r.before.tns * 1.05);
+  // Congestion within noise.
+  EXPECT_LE(r.after.overflow_edges, r.before.overflow_edges * 1.10 + 5);
+}
+
+TEST_F(FlowFixture, AccountingIdentities) {
+  const FlowResult r = run();
+  EXPECT_EQ(r.before.design.total_registers - r.registers_merged +
+                r.mbrs_created,
+            r.after.design.total_registers);
+  EXPECT_GE(r.registers_merged, 2 * r.mbrs_created);
+  EXPECT_GE(r.incomplete_mbrs, 0);
+  EXPECT_LE(r.incomplete_mbrs, r.mbrs_created);
+  EXPECT_TRUE(r.legalization.success);
+  EXPECT_GT(r.restitch.chains, 0);
+}
+
+TEST_F(FlowFixture, Deterministic) {
+  const FlowResult a = run();
+  const FlowResult b = run();
+  EXPECT_EQ(a.mbrs_created, b.mbrs_created);
+  EXPECT_EQ(a.registers_merged, b.registers_merged);
+  EXPECT_EQ(a.after.design.total_registers, b.after.design.total_registers);
+  EXPECT_DOUBLE_EQ(a.after.clock_cap, b.after.clock_cap);
+  EXPECT_DOUBLE_EQ(a.after.tns, b.after.tns);
+  EXPECT_EQ(a.after.overflow_edges, b.after.overflow_edges);
+}
+
+TEST_F(FlowFixture, IncompleteMbrsIncreaseMerging) {
+  FlowOptions with;
+  FlowOptions without;
+  without.composition.enumeration.allow_incomplete = false;
+  const FlowResult r_with = run(with);
+  const FlowResult r_without = run(without);
+  EXPECT_GE(r_with.registers_merged, r_without.registers_merged);
+  EXPECT_EQ(r_without.incomplete_mbrs, 0);
+}
+
+TEST_F(FlowFixture, WeightsAblationTradesCongestionForCount) {
+  FlowOptions weighted;
+  FlowOptions unweighted;
+  unweighted.composition.enumeration.use_weights = false;
+  const FlowResult r_on = run(weighted);
+  const FlowResult r_off = run(unweighted);
+  // Weights-off merges at least as many registers (no blocked-candidate
+  // refusals)...
+  EXPECT_LE(r_off.after.design.total_registers,
+            r_on.after.design.total_registers);
+  // ...and the weighted flow never has more overflow than weights-off plus
+  // noise (the paper's rationale for the weights).
+  EXPECT_LE(r_on.after.overflow_edges,
+            r_off.after.overflow_edges + 10);
+}
+
+TEST_F(FlowFixture, HeuristicAllocatorRunsEndToEnd) {
+  FlowOptions options;
+  options.allocator = Allocator::kHeuristic;
+  const FlowResult r = run(options);
+  EXPECT_GT(r.mbrs_created, 0);
+  EXPECT_LT(r.after.design.total_registers,
+            r.before.design.total_registers);
+}
+
+TEST_F(FlowFixture, SkewOnlyAppliesToNewMbrs) {
+  std::optional<benchgen::GeneratedDesign> generated;
+  FlowOptions options;
+  const FlowResult r = run(options, &generated);
+  for (const auto& [cell, value] : r.skew) {
+    EXPECT_FALSE(generated->design.cell(cell).dead);
+    // Every skewed cell is one of the freshly created MBRs (name prefix).
+    EXPECT_EQ(generated->design.cell(cell).name.rfind("mbrc_", 0), 0u)
+        << generated->design.cell(cell).name;
+  }
+}
+
+TEST_F(FlowFixture, FlowNeverCreatesHoldViolations) {
+  // Hold-aware useful skew and sizing: a hold-clean design stays hold-clean
+  // through composition (the paper's "without degrading timing", min-delay
+  // side).
+  const FlowResult r = run();
+  EXPECT_EQ(r.before.failing_hold_endpoints, 0);
+  EXPECT_EQ(r.after.failing_hold_endpoints, 0);
+  EXPECT_GE(r.after.hold_wns, 0.0);
+}
+
+TEST_F(FlowFixture, SkewDisabledLeavesMapEmpty) {
+  FlowOptions options;
+  options.apply_useful_skew = false;
+  const FlowResult r = run(options);
+  EXPECT_TRUE(r.skew.empty());
+}
+
+TEST_F(FlowFixture, PartitionBoundShrinksQoR) {
+  FlowOptions normal;    // bound 30
+  FlowOptions crippled;
+  crippled.composition.partition.max_nodes = 4;
+  const FlowResult r30 = run(normal);
+  const FlowResult r4 = run(crippled);
+  // The paper: bounds below ~20 lose QoR. With bound 4 the candidate space
+  // collapses, so fewer registers are merged.
+  EXPECT_LT(r4.registers_merged, r30.registers_merged);
+}
+
+TEST_F(FlowFixture, MappedCellsRespectDriveRule) {
+  std::optional<benchgen::GeneratedDesign> generated;
+  FlowOptions options;
+  options.size_new_mbrs = false;  // keep the mapper's drive choice
+  run(options, &generated);
+  // For every new MBR, its drive resistance must not exceed the strongest
+  // X1 default (2.4): trivially true; the stronger check -- it maps the
+  // smallest clock-cap qualifying cell -- is covered in lib_test. Here we
+  // check the flow-level outcome: no new MBR is weaker than the weakest
+  // library drive.
+  for (netlist::CellId reg : generated->design.registers()) {
+    const netlist::Cell& cell = generated->design.cell(reg);
+    if (cell.name.rfind("mbrc_", 0) != 0) continue;
+    EXPECT_LE(cell.reg->drive_resistance, 2.4 + 1e-9);
+  }
+}
+
+TEST(EvaluateDesign, StandaloneMetrics) {
+  const lib::Library library = lib::make_default_library();
+  benchgen::DesignProfile profile;
+  profile.register_cells = 200;
+  profile.comb_per_register = 3.0;
+  benchgen::GeneratedDesign generated =
+      benchgen::generate_design(library, profile);
+  FlowOptions options;
+  options.timing.clock_period = generated.calibrated_clock_period;
+  const Metrics m = evaluate_design(generated.design, options);
+  EXPECT_EQ(m.design.total_registers, 200);
+  EXPECT_GT(m.composable_registers, 0);
+  EXPECT_LE(m.composable_registers, 200);
+  EXPECT_GT(m.total_endpoints, 0);
+  EXPECT_GE(m.failing_endpoints, 0);
+  EXPECT_GT(m.clock_cap, 0.0);
+  EXPECT_GT(m.signal_wire, 0.0);
+}
+
+}  // namespace
+}  // namespace mbrc::mbr

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ilp/set_partition.hpp"
+#include "mbr/candidates.hpp"
+#include "mbr/composition.hpp"
+#include "mbr/heuristic.hpp"
+#include "mbr/worked_example.hpp"
+
+namespace mbrc::mbr {
+namespace {
+
+// plan_composition_heuristic needs a Design; these unit checks exercise its
+// building blocks on the worked example instead, where the heuristic's
+// behaviour is fully predictable.
+TEST(HeuristicWorkedExample, GreedyPicksAbcdAndStrandsEandF) {
+  const WorkedExample example = make_worked_example();
+  std::vector<int> subgraph;
+  for (int i = 0; i < example.graph.node_count(); ++i) subgraph.push_back(i);
+
+  // Maximal cliques of Fig. 1: {A,B,C,D} (4 bits), {A,C,E} (6 bits -> trims),
+  // {B,C,F} (4 bits). Greedy takes {A,B,C,D} first; the other two then
+  // collide with committed members, stranding E and F.
+  const auto cliques = maximal_cliques(example.graph, subgraph);
+  ASSERT_EQ(cliques.size(), 3u);
+
+  // The committed-first clique is the full 4-bit one.
+  using WE = WorkedExample;
+  std::set<std::vector<int>> clique_set(cliques.begin(), cliques.end());
+  EXPECT_TRUE(clique_set.contains(
+      std::vector<int>{WE::kA, WE::kB, WE::kC, WE::kD}));
+
+  // Compare against the exact ILP: both reach 3 final registers on this
+  // example, but the ILP's weighted objective is strictly better, because
+  // the greedy {A,B,C,D}+E+F costs 1/4 + 1/4 + 1/2 = 1.0 while the ILP's
+  // {A,C,D}+{B,F}+E costs 1/3 + 1/3 + 1/4 = 11/12.
+  const BlockerIndex blockers(example.graph);
+  const EnumerationResult enumeration = enumerate_candidates(
+      example.graph, *example.library, blockers, subgraph);
+  const ilp::SetPartitionResult ilp_result =
+      solve_subgraph(subgraph, enumeration.candidates);
+  ASSERT_TRUE(ilp_result.feasible);
+  EXPECT_EQ(ilp_result.chosen.size(), 3u);
+  const double greedy_cost = 0.25 + 0.25 + 0.5;
+  EXPECT_LT(ilp_result.objective, greedy_cost);
+}
+
+TEST(HeuristicWorkedExample, TrimmedCliqueAlwaysFitsALibraryWidth) {
+  // The 6-bit clique {A,C,E} has no 6-bit cell; the heuristic's trimming
+  // must land on an available width or give up -- never emit an invalid
+  // width (the flow-level mapper would reject it). Exercised indirectly:
+  // enumerate the available widths and check 6 is absent while subsets fit.
+  const WorkedExample example = make_worked_example();
+  const auto widths =
+      example.library->available_widths(lib::RegisterFunction{});
+  EXPECT_EQ(widths, (std::vector<int>{1, 2, 3, 4, 8}));
+  // {A,C,E} = 6 bits: not a width. {A,C} = 2: fits. {A,E} = 5: not a width
+  // (only reachable as an incomplete 8, which the baseline does not use).
+  EXPECT_FALSE(std::binary_search(widths.begin(), widths.end(), 6));
+  EXPECT_TRUE(std::binary_search(widths.begin(), widths.end(), 2));
+}
+
+}  // namespace
+}  // namespace mbrc::mbr

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lib/library.hpp"
+#include "util/assert.hpp"
+
+namespace mbrc::lib {
+namespace {
+
+class DefaultLibrary : public ::testing::Test {
+protected:
+  Library library = make_default_library();
+};
+
+TEST_F(DefaultLibrary, HasEveryFunctionWidthDriveCombination) {
+  const DefaultLibraryOptions options;
+  for (const RegisterFunction& f : options.functions) {
+    const auto widths = library.available_widths(f);
+    EXPECT_EQ(widths, (std::vector<int>{1, 2, 4, 8}));
+    for (int w : widths) {
+      const auto cells = library.cells_for(f, w);
+      // 3 drive strengths, plus per-bit-scan variants for scan multibit.
+      const std::size_t expected =
+          (f.is_scan && w > 1) ? 6u : 3u;
+      EXPECT_EQ(cells.size(), expected) << "width " << w;
+    }
+  }
+}
+
+TEST_F(DefaultLibrary, AreaSharingMakesPerBitAreaDecrease) {
+  const RegisterFunction plain{};
+  double last_per_bit = 1e9;
+  for (int w : {1, 2, 4, 8}) {
+    const auto cells = library.cells_for(plain, w);
+    const RegisterCell* x1 = nullptr;
+    for (const RegisterCell* c : cells)
+      if (x1 == nullptr || c->drive_resistance > x1->drive_resistance) x1 = c;
+    const double per_bit = x1->area_per_bit();
+    EXPECT_LT(per_bit, last_per_bit) << "width " << w;
+    last_per_bit = per_bit;
+  }
+}
+
+TEST_F(DefaultLibrary, ClockCapPerBitDecreasesWithWidth) {
+  const RegisterFunction plain{};
+  double last = 1e9;
+  for (int w : {1, 2, 4, 8}) {
+    const RegisterCell* cell = library.cells_for(plain, w).front();
+    const double per_bit = cell->clock_pin_cap / w;
+    EXPECT_LT(per_bit, last);
+    last = per_bit;
+  }
+}
+
+TEST_F(DefaultLibrary, PinGeometryConsistent) {
+  for (const RegisterCell& cell : library.registers()) {
+    ASSERT_EQ(static_cast<int>(cell.d_pin_offsets.size()), cell.bits);
+    ASSERT_EQ(static_cast<int>(cell.q_pin_offsets.size()), cell.bits);
+    for (const geom::Point& p : cell.d_pin_offsets) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, cell.width + 1e-9);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, cell.height + 1e-9);
+    }
+    EXPECT_NEAR(cell.width * cell.height, cell.area, 1e-6);
+  }
+}
+
+TEST_F(DefaultLibrary, LookupByName) {
+  const RegisterCell* cell = library.register_by_name("DFFP_B4_X1");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->bits, 4);
+  EXPECT_EQ(cell->function, RegisterFunction{});
+  EXPECT_EQ(library.register_by_name("NO_SUCH_CELL"), nullptr);
+  EXPECT_NE(library.comb_by_name("NAND2_X1"), nullptr);
+  EXPECT_EQ(library.comb_by_name("NAND9_X9"), nullptr);
+}
+
+TEST_F(DefaultLibrary, DuplicateNameRejected) {
+  Library lib;
+  RegisterCell cell;
+  cell.name = "X";
+  cell.bits = 1;
+  cell.d_pin_offsets = {{0, 0}};
+  cell.q_pin_offsets = {{1, 0}};
+  lib.add_register(cell);
+  EXPECT_THROW(lib.add_register(cell), util::AssertionError);
+}
+
+TEST_F(DefaultLibrary, MappingPrefersStrongEnoughDrive) {
+  // Replaced registers' strongest drive is X2 (resistance 1.2): the mapped
+  // cell must not be weaker.
+  MappingRequest request;
+  request.function = RegisterFunction{};
+  request.bits = 4;
+  request.min_drive_resistance = 1.2;
+  const RegisterCell* cell = library.map_register(request);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_LE(cell->drive_resistance, 1.2 + 1e-9);
+  // Among qualifying cells it favors low clock cap -> the weakest
+  // qualifying drive (clock cap grows with strength in this library).
+  EXPECT_NEAR(cell->drive_resistance, 1.2, 1e-9);
+}
+
+TEST_F(DefaultLibrary, MappingFallsBackToStrongestWhenAllTooWeak) {
+  MappingRequest request;
+  request.function = RegisterFunction{};
+  request.bits = 8;
+  request.min_drive_resistance = 0.01;  // stronger than anything available
+  const RegisterCell* cell = library.map_register(request);
+  ASSERT_NE(cell, nullptr);
+  // Strongest available X4: resistance 2.4 / 4.
+  EXPECT_NEAR(cell->drive_resistance, 0.6, 1e-9);
+}
+
+TEST_F(DefaultLibrary, MappingHonorsPerBitScanRequirement) {
+  MappingRequest request;
+  request.function = RegisterFunction{.is_scan = true};
+  request.bits = 4;
+  request.min_drive_resistance = 2.4;
+  request.needs_per_bit_scan = true;
+  const RegisterCell* cell = library.map_register(request);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->scan_style, ScanStyle::kPerBitPins);
+
+  // Without the requirement, the internal-chain variant wins (external scan
+  // is penalized, Sec. 4.1).
+  request.needs_per_bit_scan = false;
+  const RegisterCell* internal = library.map_register(request);
+  ASSERT_NE(internal, nullptr);
+  EXPECT_EQ(internal->scan_style, ScanStyle::kInternalChain);
+}
+
+TEST_F(DefaultLibrary, MappingUnknownWidthReturnsNull) {
+  MappingRequest request;
+  request.function = RegisterFunction{};
+  request.bits = 5;
+  EXPECT_EQ(library.map_register(request), nullptr);
+}
+
+TEST_F(DefaultLibrary, HasMultibit) {
+  EXPECT_TRUE(library.has_multibit(RegisterFunction{}));
+  // A function class not in the library at all:
+  EXPECT_FALSE(library.has_multibit(RegisterFunction{.is_latch = true}));
+}
+
+TEST(LibraryOptions, Width3Variant) {
+  DefaultLibraryOptions options;
+  options.include_width_3 = true;
+  const Library lib = make_default_library(options);
+  const auto widths = lib.available_widths(RegisterFunction{});
+  EXPECT_EQ(widths, (std::vector<int>{1, 2, 3, 4, 8}));
+}
+
+TEST(RegisterFunctionEncoding, DistinctPerFeature) {
+  std::set<unsigned> codes;
+  for (bool r : {false, true})
+    for (bool s : {false, true})
+      for (bool e : {false, true})
+        for (bool q : {false, true})
+          codes.insert(RegisterFunction{r, s, e, q, false}.encode());
+  EXPECT_EQ(codes.size(), 16u);
+}
+
+}  // namespace
+}  // namespace mbrc::lib

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace mbrc::lp {
+namespace {
+
+TEST(Simplex, TextbookMaximize) {
+  Model m;
+  const int x = m.add_continuous("x", 3.0, 0.0);
+  const int y = m.add_continuous("y", 2.0, 0.0);
+  m.set_sense(Sense::kMaximize);
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::kLessEqual, 4);
+  m.add_constraint({{x, 1}, {y, 3}}, Relation::kLessEqual, 6);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-9);
+  EXPECT_NEAR(s.values[x], 4.0, 1e-9);
+  EXPECT_NEAR(s.values[y], 0.0, 1e-9);
+}
+
+TEST(Simplex, MinimizeWithGreaterEqual) {
+  Model m;
+  const int a = m.add_continuous("a", 1.0, 0.0);
+  const int b = m.add_continuous("b", 1.0, 0.0);
+  m.add_constraint({{a, 1}, {b, 2}}, Relation::kGreaterEqual, 3);
+  m.add_constraint({{a, 3}, {b, 1}}, Relation::kGreaterEqual, 4);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+  EXPECT_NEAR(s.values[a], 1.0, 1e-9);
+  EXPECT_NEAR(s.values[b], 1.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  Model m;
+  const int x = m.add_continuous("x", 1.0, 0.0);
+  const int y = m.add_continuous("y", 4.0, 0.0);
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::kEqual, 5);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);  // all mass on the cheap variable
+  EXPECT_NEAR(s.values[x], 5.0, 1e-9);
+}
+
+TEST(Simplex, FreeVariableAbsoluteValue) {
+  // min t s.t. t >= x - 3, t >= 3 - x with x free: optimum t = 0 at x = 3.
+  Model m;
+  const int x = m.add_continuous("x");
+  const int t = m.add_continuous("t", 1.0, 0.0);
+  m.add_constraint({{t, 1}, {x, -1}}, Relation::kGreaterEqual, -3);
+  m.add_constraint({{t, 1}, {x, 1}}, Relation::kGreaterEqual, 3);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);
+  EXPECT_NEAR(s.values[x], 3.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.add_continuous("x", 1.0, 0.0, 10.0);
+  m.add_constraint({{x, 1}}, Relation::kGreaterEqual, 20);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  const int x = m.add_continuous("x", 1.0, 0.0);
+  m.set_sense(Sense::kMaximize);
+  m.add_constraint({{x, -1}}, Relation::kLessEqual, 0);  // x >= 0, no cap
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, VariableUpperBoundsHonored) {
+  Model m;
+  const int x = m.add_continuous("x", 1.0, 0.0, 2.5);
+  const int y = m.add_continuous("y", 1.0, 0.0, 2.5);
+  m.set_sense(Sense::kMaximize);
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::kLessEqual, 10);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+}
+
+TEST(Simplex, FixedVariable) {
+  Model m;
+  const int x = m.add_variable("x", 4.0, 4.0, 1.0);
+  const int y = m.add_continuous("y", 1.0, 0.0);
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::kGreaterEqual, 7);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], 4.0, 1e-9);
+  EXPECT_NEAR(s.values[y], 3.0, 1e-9);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  Model m;
+  const int x = m.add_continuous("x", 1.0, -5.0, 5.0);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], -5.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateRedundantConstraints) {
+  Model m;
+  const int x = m.add_continuous("x", 1.0, 0.0);
+  m.add_constraint({{x, 1}}, Relation::kGreaterEqual, 2);
+  m.add_constraint({{x, 1}}, Relation::kGreaterEqual, 2);  // duplicate
+  m.add_constraint({{x, 2}}, Relation::kGreaterEqual, 4);  // scaled duplicate
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], 2.0, 1e-9);
+}
+
+TEST(ModelFeasibility, ChecksBoundsConstraintsIntegrality) {
+  Model m;
+  const int x = m.add_binary("x", 1.0);
+  const int y = m.add_continuous("y", 1.0, 0.0, 10.0);
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::kLessEqual, 5);
+  EXPECT_TRUE(m.is_feasible({1.0, 4.0}));
+  EXPECT_FALSE(m.is_feasible({0.5, 4.0}));   // fractional binary
+  EXPECT_FALSE(m.is_feasible({1.0, 11.0}));  // bound violated
+  EXPECT_FALSE(m.is_feasible({1.0, 4.5}));   // constraint violated
+  EXPECT_FALSE(m.is_feasible({1.0}));        // wrong arity
+}
+
+// Property: on random feasible LPs (box + <= rows with nonnegative
+// coefficients, so 0 is always feasible), the simplex optimum is feasible
+// and no random feasible point beats it.
+TEST(Simplex, RandomMaximizationDominance) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 40; ++trial) {
+    Model m;
+    const int n = static_cast<int>(rng.uniform_int(2, 6));
+    for (int i = 0; i < n; ++i)
+      m.add_variable("v" + std::to_string(i), 0.0,
+                     rng.uniform_real(1.0, 10.0), rng.uniform_real(0.1, 3.0));
+    m.set_sense(Sense::kMaximize);
+    const int rows = static_cast<int>(rng.uniform_int(1, 4));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<Term> terms;
+      for (int i = 0; i < n; ++i)
+        terms.push_back({i, rng.uniform_real(0.0, 2.0)});
+      m.add_constraint(std::move(terms), Relation::kLessEqual,
+                       rng.uniform_real(1.0, 12.0));
+    }
+    const Solution s = solve_lp(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal) << "trial " << trial;
+    EXPECT_TRUE(m.is_feasible(s.values, 1e-6)) << "trial " << trial;
+
+    for (int probe = 0; probe < 30; ++probe) {
+      std::vector<double> x(n);
+      for (int i = 0; i < n; ++i)
+        x[i] = rng.uniform_real(0.0, m.variable(i).upper);
+      if (!m.is_feasible(x)) continue;
+      EXPECT_LE(m.objective_value(x), s.objective + 1e-6)
+          << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbrc::lp

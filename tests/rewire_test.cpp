@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "mbr/composition.hpp"
+#include "mbr/mapping.hpp"
+#include "mbr/rewire.hpp"
+#include "sta/sta.hpp"
+
+namespace mbrc::mbr {
+namespace {
+
+using netlist::CellId;
+using netlist::Design;
+using netlist::NetId;
+using netlist::PinId;
+using netlist::PinRole;
+
+// Four 1-bit reset-flops in a row, each with a dedicated driver gate on D
+// and a dedicated load gate on Q, sharing clock and reset nets.
+class RewireFixture : public ::testing::Test {
+protected:
+  RewireFixture()
+      : library(lib::make_default_library()),
+        design(&library, {0, 0, 120, 36}) {
+    const auto* dff = library.register_by_name("DFFR_B1_X1");
+    const auto* inv = library.comb_by_name("INV_X1");
+    clock = design.create_net(true);
+    reset = design.create_net();
+    const CellId reset_driver = design.add_comb("rst", inv, {0, 0});
+    design.connect(comb_out(reset_driver), reset);
+
+    for (int i = 0; i < 4; ++i) {
+      const CellId reg = design.add_register("r" + std::to_string(i), dff,
+                                             {20.0 + i * 6.0, 9.0});
+      design.connect(design.register_clock_pin(reg), clock);
+      design.connect(design.register_control_pin(reg, PinRole::kReset),
+                     reset);
+
+      const CellId driver =
+          design.add_comb("drv" + std::to_string(i), inv, {10.0, 9.0 + i});
+      d_nets.push_back(design.create_net());
+      design.connect(comb_out(driver), d_nets.back());
+      design.connect(design.register_d_pin(reg, 0), d_nets.back());
+
+      const CellId load =
+          design.add_comb("load" + std::to_string(i), inv, {60.0, 9.0 + i});
+      q_nets.push_back(design.create_net());
+      design.connect(design.register_q_pin(reg, 0), q_nets.back());
+      design.connect(comb_in(load), q_nets.back());
+      registers.push_back(reg);
+    }
+
+    // Build the compatibility graph over the real design.
+    timing = sta::run_sta(design, sta::TimingOptions{});
+    graph = build_compatibility_graph(design, timing, {});
+    EXPECT_EQ(graph.node_count(), 4);
+  }
+
+  PinId comb_out(CellId cell) {
+    for (PinId p : design.cell(cell).pins)
+      if (design.pin(p).is_output) return p;
+    return PinId{};
+  }
+  PinId comb_in(CellId cell) {
+    for (PinId p : design.cell(cell).pins)
+      if (!design.pin(p).is_output) return p;
+    return PinId{};
+  }
+
+  // Builds a candidate over graph nodes covering all four registers.
+  Candidate four_bit_candidate() {
+    Candidate c;
+    for (int i = 0; i < 4; ++i) c.nodes.push_back(i);
+    c.bits = 4;
+    c.mapped_width = 4;
+    c.common_region = geom::Rect{0, 0, 120, 36};
+    return c;
+  }
+
+  lib::Library library;
+  Design design;
+  NetId clock, reset;
+  std::vector<NetId> d_nets, q_nets;
+  std::vector<CellId> registers;
+  sta::TimingReport timing;
+  CompatibilityGraph graph;
+};
+
+TEST_F(RewireFixture, MergePreservesBitConnectivity) {
+  const Candidate candidate = four_bit_candidate();
+  const auto mapping = map_candidate(design, graph, candidate);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_EQ(mapping->cell->bits, 4);
+  EXPECT_EQ(mapping->cell->function.has_reset, true);
+
+  const CellId mbr = rewire_candidate(design, graph, candidate, *mapping,
+                                      {30, 9}, "mbr0");
+  design.check_consistency();
+
+  // Members are gone.
+  for (CellId reg : registers) EXPECT_TRUE(design.cell(reg).dead);
+
+  // Every former D net now drives exactly one MBR D pin, same for Q.
+  for (std::size_t i = 0; i < mapping->member_order.size(); ++i) {
+    const int node = mapping->member_order[i];
+    const int bit = mapping->bit_offset[i];
+    const PinId d = design.register_d_pin(mbr, bit);
+    const PinId q = design.register_q_pin(mbr, bit);
+    // The member order maps node index -> original register r<node>.
+    EXPECT_EQ(design.pin(d).net, d_nets[node]) << "bit " << bit;
+    EXPECT_EQ(design.pin(q).net, q_nets[node]) << "bit " << bit;
+    EXPECT_EQ(design.net(q_nets[node]).driver, q);
+  }
+
+  // Shared control connectivity.
+  EXPECT_EQ(design.pin(design.register_clock_pin(mbr)).net, clock);
+  EXPECT_EQ(
+      design.pin(design.register_control_pin(mbr, PinRole::kReset)).net,
+      reset);
+
+  // One register instead of four.
+  EXPECT_EQ(design.registers().size(), 1u);
+  EXPECT_EQ(design.stats().register_bits, 4);
+
+  // STA still runs and sees the same endpoints count (4 D bits).
+  const sta::TimingReport after = sta::run_sta(design, sta::TimingOptions{});
+  EXPECT_EQ(after.total_endpoints(), timing.total_endpoints());
+}
+
+TEST_F(RewireFixture, IncompleteMergeLeavesSparePinsUnconnected) {
+  // Merge only three registers into an (incomplete) 4-bit cell.
+  Candidate candidate;
+  candidate.nodes = {0, 1, 2};
+  candidate.bits = 3;
+  candidate.mapped_width = 4;
+  candidate.common_region = geom::Rect{0, 0, 120, 36};
+  MappingOptions loose;
+  loose.incomplete_area_overhead = 10.0;
+  const auto mapping = map_candidate(design, graph, candidate, loose);
+  ASSERT_TRUE(mapping.has_value());
+
+  const CellId mbr = rewire_candidate(design, graph, candidate, *mapping,
+                                      {30, 9}, "mbr0");
+  design.check_consistency();
+  // Bits 0..2 connected, bit 3 tied off.
+  EXPECT_TRUE(design.pin(design.register_d_pin(mbr, 2)).net.valid());
+  EXPECT_FALSE(design.pin(design.register_d_pin(mbr, 3)).net.valid());
+  EXPECT_FALSE(design.pin(design.register_q_pin(mbr, 3)).net.valid());
+  // The fourth register survives.
+  EXPECT_EQ(design.registers().size(), 2u);
+}
+
+TEST_F(RewireFixture, MappingRejectsOversizedIncomplete) {
+  Candidate candidate;
+  candidate.nodes = {0, 1};  // 2 bits on a 4-bit cell: huge area overhead
+  candidate.bits = 2;
+  candidate.mapped_width = 4;
+  candidate.common_region = geom::Rect{0, 0, 120, 36};
+  std::string why;
+  const auto mapping = map_candidate(design, graph, candidate, {}, &why);
+  EXPECT_FALSE(mapping.has_value());
+  EXPECT_NE(why.find("area"), std::string::npos);
+}
+
+class ScanFixture : public ::testing::Test {
+protected:
+  ScanFixture()
+      : library(lib::make_default_library()),
+        design(&library, {0, 0, 200, 36}) {}
+
+  CellId add_scan_register(const std::string& name, geom::Point pos,
+                           int partition, int section = -1, int order = -1) {
+    const auto* cell = library.register_by_name("DFFQ_B1_X1");
+    const CellId reg = design.add_register(name, cell, pos);
+    design.cell(reg).scan = {partition, section, order};
+    return reg;
+  }
+
+  lib::Library library;
+  netlist::Design design;
+};
+
+TEST_F(ScanFixture, RestitchLinksChainsPerPartition) {
+  for (int i = 0; i < 5; ++i)
+    add_scan_register("p0_" + std::to_string(i), {i * 10.0, 9.0}, 0);
+  for (int i = 0; i < 3; ++i)
+    add_scan_register("p1_" + std::to_string(i), {i * 10.0, 18.0}, 1);
+
+  const RestitchStats stats = restitch_scan_chains(design);
+  EXPECT_EQ(stats.chains, 2);
+  EXPECT_EQ(stats.registers, 8);
+  EXPECT_EQ(stats.links, 4 + 2);  // n-1 links per partition
+  design.check_consistency();
+
+  // Every SI except one per partition is connected; same for SO.
+  int unconnected_si = 0;
+  for (netlist::CellId reg : design.registers())
+    for (netlist::PinId p : design.cell(reg).pins)
+      if (design.pin(p).role == PinRole::kScanIn &&
+          !design.pin(p).net.valid())
+        ++unconnected_si;
+  EXPECT_EQ(unconnected_si, 2);  // the two chain heads
+}
+
+TEST_F(ScanFixture, RestitchPreservesSectionOrder) {
+  // Section 0 with explicit order, plus free registers.
+  const CellId s2 = add_scan_register("s2", {50, 9}, 0, 0, 2);
+  const CellId s0 = add_scan_register("s0", {90, 9}, 0, 0, 0);
+  const CellId s1 = add_scan_register("s1", {10, 9}, 0, 0, 1);
+  const CellId free = add_scan_register("free", {70, 9}, 0);
+
+  restitch_scan_chains(design);
+
+  // Walk the chain from its head and record the visit order.
+  std::vector<CellId> order;
+  CellId cursor;
+  for (netlist::CellId reg : design.registers()) {
+    const netlist::PinId si =
+        design.register_control_pin(reg, PinRole::kScanIn);
+    netlist::PinId si_pin;
+    for (netlist::PinId p : design.cell(reg).pins)
+      if (design.pin(p).role == PinRole::kScanIn) si_pin = p;
+    (void)si;
+    if (!design.pin(si_pin).net.valid()) cursor = reg;  // chain head
+  }
+  ASSERT_TRUE(cursor.valid());
+  while (cursor.valid()) {
+    order.push_back(cursor);
+    netlist::PinId so;
+    for (netlist::PinId p : design.cell(cursor).pins)
+      if (design.pin(p).role == PinRole::kScanOut) so = p;
+    const netlist::NetId net = design.pin(so).net;
+    if (!net.valid() || design.net(net).sinks.empty()) break;
+    cursor = design.pin(design.net(net).sinks.front()).cell;
+  }
+  ASSERT_EQ(order.size(), 4u);
+  // Ordered section first, in order; the free register last.
+  EXPECT_EQ(order[0], s0);
+  EXPECT_EQ(order[1], s1);
+  EXPECT_EQ(order[2], s2);
+  EXPECT_EQ(order[3], free);
+}
+
+TEST_F(ScanFixture, PerBitScanCellChainsThroughEveryBit) {
+  const auto* pbs = library.register_by_name("DFFQ_B4_X1_PBS");
+  const CellId mbr = design.add_register("mbr", pbs, {10, 9});
+  design.cell(mbr).scan.partition = 0;
+  add_scan_register("single", {60, 9}, 0);
+
+  const RestitchStats stats = restitch_scan_chains(design);
+  // 4 per-bit elements + 1 single = 5 elements -> 4 links.
+  EXPECT_EQ(stats.links, 4);
+}
+
+}  // namespace
+}  // namespace mbrc::mbr

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchgen/generator.hpp"
+#include "mbr/flow.hpp"
+#include "netlist/verilog.hpp"
+
+namespace mbrc::netlist {
+namespace {
+
+class VerilogFixture : public ::testing::Test {
+protected:
+  lib::Library library = lib::make_default_library();
+};
+
+TEST_F(VerilogFixture, EmitsModulePortsWiresAndInstances) {
+  Design design(&library, {0, 0, 100, 36});
+  const auto* dff = library.register_by_name("DFFR_B2_X1");
+  const CellId reg = design.add_register("my_reg", dff, {10, 9});
+  const CellId in = design.add_port("din", true, {0, 18});
+  const CellId out = design.add_port("dout", false, {100, 18});
+
+  const NetId clock = design.create_net(true);
+  design.connect(design.register_clock_pin(reg), clock);
+  const NetId din_net = design.create_net();
+  design.connect(design.cell(in).pins[0], din_net);
+  design.connect(design.register_d_pin(reg, 0), din_net);
+  const NetId dout_net = design.create_net();
+  design.connect(design.register_q_pin(reg, 1), dout_net);
+  design.connect(design.cell(out).pins[0], dout_net);
+
+  std::ostringstream os;
+  write_verilog(design, os, "top");
+  const std::string v = os.str();
+
+  EXPECT_NE(v.find("module top (din, dout);"), std::string::npos);
+  EXPECT_NE(v.find("input din;"), std::string::npos);
+  EXPECT_NE(v.find("output dout;"), std::string::npos);
+  EXPECT_NE(v.find("DFFR_B2_X1 my_reg ("), std::string::npos);
+  EXPECT_NE(v.find(".D0(din)"), std::string::npos);
+  EXPECT_NE(v.find(".Q1(dout)"), std::string::npos);
+  EXPECT_NE(v.find(".CLK("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // Unconnected pins (D1, Q0, RN) are omitted, not emitted dangling.
+  EXPECT_EQ(v.find(".D1("), std::string::npos);
+  EXPECT_EQ(v.find(".RN("), std::string::npos);
+}
+
+TEST_F(VerilogFixture, SanitizesAwkwardNames) {
+  Design design(&library, {0, 0, 50, 18});
+  const auto* dff = library.register_by_name("DFFP_B1_X1");
+  design.add_register("weird.name[3]", dff, {10, 9});
+  std::ostringstream os;
+  write_verilog(design, os, "1bad-module");
+  const std::string v = os.str();
+  EXPECT_NE(v.find("module n_1bad_module"), std::string::npos);
+  EXPECT_NE(v.find("weird_name_3_"), std::string::npos);
+  EXPECT_EQ(v.find('['), std::string::npos);
+}
+
+TEST_F(VerilogFixture, ComposedDesignStillWritable) {
+  benchgen::DesignProfile profile;
+  profile.register_cells = 200;
+  profile.comb_per_register = 3.0;
+  benchgen::GeneratedDesign generated =
+      benchgen::generate_design(library, profile);
+  mbr::FlowOptions options;
+  options.timing.clock_period = generated.calibrated_clock_period;
+  const mbr::FlowResult result =
+      mbr::run_composition_flow(generated.design, options);
+
+  std::ostringstream os;
+  write_verilog(generated.design, os, "top");
+  const std::string v = os.str();
+  // Every new MBR instance appears once (instances are named mbrc_<k>).
+  int mbrc_instances = 0;
+  for (std::size_t at = v.find("mbrc_"); at != std::string::npos;
+       at = v.find("mbrc_", at + 1))
+    ++mbrc_instances;
+  EXPECT_EQ(mbrc_instances, result.mbrs_created);
+  // No dead members linger.
+  EXPECT_EQ(v.find("dead"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbrc::netlist
