@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partition_bound.dir/ablation_partition_bound.cpp.o"
+  "CMakeFiles/ablation_partition_bound.dir/ablation_partition_bound.cpp.o.d"
+  "ablation_partition_bound"
+  "ablation_partition_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partition_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ilp_vs_heuristic.dir/fig6_ilp_vs_heuristic.cpp.o"
+  "CMakeFiles/fig6_ilp_vs_heuristic.dir/fig6_ilp_vs_heuristic.cpp.o.d"
+  "fig6_ilp_vs_heuristic"
+  "fig6_ilp_vs_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ilp_vs_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

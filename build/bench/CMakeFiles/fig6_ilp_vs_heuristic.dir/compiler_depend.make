@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_ilp_vs_heuristic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_industrial.cpp" "bench/CMakeFiles/table1_industrial.dir/table1_industrial.cpp.o" "gcc" "bench/CMakeFiles/table1_industrial.dir/table1_industrial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchgen/CMakeFiles/mbrc_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbr/CMakeFiles/mbrc_mbr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/mbrc_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mbrc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/mbrc_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/cts/CMakeFiles/mbrc_cts.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/mbrc_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/mbrc_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mbrc_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/mbrc_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mbrc_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

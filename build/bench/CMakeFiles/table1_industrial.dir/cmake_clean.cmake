@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_industrial.dir/table1_industrial.cpp.o"
+  "CMakeFiles/table1_industrial.dir/table1_industrial.cpp.o.d"
+  "table1_industrial"
+  "table1_industrial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_industrial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compose_file.dir/compose_file.cpp.o"
+  "CMakeFiles/compose_file.dir/compose_file.cpp.o.d"
+  "compose_file"
+  "compose_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compose_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

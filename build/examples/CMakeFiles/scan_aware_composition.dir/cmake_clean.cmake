@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_aware_composition.dir/scan_aware_composition.cpp.o"
+  "CMakeFiles/scan_aware_composition.dir/scan_aware_composition.cpp.o.d"
+  "scan_aware_composition"
+  "scan_aware_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_aware_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbrc_benchgen.dir/generator.cpp.o"
+  "CMakeFiles/mbrc_benchgen.dir/generator.cpp.o.d"
+  "libmbrc_benchgen.a"
+  "libmbrc_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbrc_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

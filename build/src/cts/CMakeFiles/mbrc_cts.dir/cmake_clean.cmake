@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbrc_cts.dir/cts.cpp.o"
+  "CMakeFiles/mbrc_cts.dir/cts.cpp.o.d"
+  "libmbrc_cts.a"
+  "libmbrc_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbrc_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

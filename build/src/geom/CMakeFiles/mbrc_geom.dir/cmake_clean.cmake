@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbrc_geom.dir/convex_hull.cpp.o"
+  "CMakeFiles/mbrc_geom.dir/convex_hull.cpp.o.d"
+  "libmbrc_geom.a"
+  "libmbrc_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbrc_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

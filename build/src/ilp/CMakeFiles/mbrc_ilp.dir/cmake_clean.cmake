@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbrc_ilp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/mbrc_ilp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/mbrc_ilp.dir/set_partition.cpp.o"
+  "CMakeFiles/mbrc_ilp.dir/set_partition.cpp.o.d"
+  "libmbrc_ilp.a"
+  "libmbrc_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbrc_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

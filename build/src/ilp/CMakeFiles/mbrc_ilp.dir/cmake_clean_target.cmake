@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmbrc_ilp.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbrc_lib.dir/library.cpp.o"
+  "CMakeFiles/mbrc_lib.dir/library.cpp.o.d"
+  "libmbrc_lib.a"
+  "libmbrc_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbrc_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbrc_lp.dir/model.cpp.o"
+  "CMakeFiles/mbrc_lp.dir/model.cpp.o.d"
+  "CMakeFiles/mbrc_lp.dir/simplex.cpp.o"
+  "CMakeFiles/mbrc_lp.dir/simplex.cpp.o.d"
+  "libmbrc_lp.a"
+  "libmbrc_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbrc_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

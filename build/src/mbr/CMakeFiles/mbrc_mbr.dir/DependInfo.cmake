@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mbr/candidates.cpp" "src/mbr/CMakeFiles/mbrc_mbr.dir/candidates.cpp.o" "gcc" "src/mbr/CMakeFiles/mbrc_mbr.dir/candidates.cpp.o.d"
+  "/root/repo/src/mbr/cliques.cpp" "src/mbr/CMakeFiles/mbrc_mbr.dir/cliques.cpp.o" "gcc" "src/mbr/CMakeFiles/mbrc_mbr.dir/cliques.cpp.o.d"
+  "/root/repo/src/mbr/compatibility.cpp" "src/mbr/CMakeFiles/mbrc_mbr.dir/compatibility.cpp.o" "gcc" "src/mbr/CMakeFiles/mbrc_mbr.dir/compatibility.cpp.o.d"
+  "/root/repo/src/mbr/composition.cpp" "src/mbr/CMakeFiles/mbrc_mbr.dir/composition.cpp.o" "gcc" "src/mbr/CMakeFiles/mbrc_mbr.dir/composition.cpp.o.d"
+  "/root/repo/src/mbr/decompose.cpp" "src/mbr/CMakeFiles/mbrc_mbr.dir/decompose.cpp.o" "gcc" "src/mbr/CMakeFiles/mbrc_mbr.dir/decompose.cpp.o.d"
+  "/root/repo/src/mbr/flow.cpp" "src/mbr/CMakeFiles/mbrc_mbr.dir/flow.cpp.o" "gcc" "src/mbr/CMakeFiles/mbrc_mbr.dir/flow.cpp.o.d"
+  "/root/repo/src/mbr/heuristic.cpp" "src/mbr/CMakeFiles/mbrc_mbr.dir/heuristic.cpp.o" "gcc" "src/mbr/CMakeFiles/mbrc_mbr.dir/heuristic.cpp.o.d"
+  "/root/repo/src/mbr/mapping.cpp" "src/mbr/CMakeFiles/mbrc_mbr.dir/mapping.cpp.o" "gcc" "src/mbr/CMakeFiles/mbrc_mbr.dir/mapping.cpp.o.d"
+  "/root/repo/src/mbr/placement.cpp" "src/mbr/CMakeFiles/mbrc_mbr.dir/placement.cpp.o" "gcc" "src/mbr/CMakeFiles/mbrc_mbr.dir/placement.cpp.o.d"
+  "/root/repo/src/mbr/rewire.cpp" "src/mbr/CMakeFiles/mbrc_mbr.dir/rewire.cpp.o" "gcc" "src/mbr/CMakeFiles/mbrc_mbr.dir/rewire.cpp.o.d"
+  "/root/repo/src/mbr/worked_example.cpp" "src/mbr/CMakeFiles/mbrc_mbr.dir/worked_example.cpp.o" "gcc" "src/mbr/CMakeFiles/mbrc_mbr.dir/worked_example.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ilp/CMakeFiles/mbrc_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mbrc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/mbrc_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/cts/CMakeFiles/mbrc_cts.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/mbrc_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/mbrc_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mbrc_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/mbrc_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mbrc_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbrc_mbr.dir/candidates.cpp.o"
+  "CMakeFiles/mbrc_mbr.dir/candidates.cpp.o.d"
+  "CMakeFiles/mbrc_mbr.dir/cliques.cpp.o"
+  "CMakeFiles/mbrc_mbr.dir/cliques.cpp.o.d"
+  "CMakeFiles/mbrc_mbr.dir/compatibility.cpp.o"
+  "CMakeFiles/mbrc_mbr.dir/compatibility.cpp.o.d"
+  "CMakeFiles/mbrc_mbr.dir/composition.cpp.o"
+  "CMakeFiles/mbrc_mbr.dir/composition.cpp.o.d"
+  "CMakeFiles/mbrc_mbr.dir/decompose.cpp.o"
+  "CMakeFiles/mbrc_mbr.dir/decompose.cpp.o.d"
+  "CMakeFiles/mbrc_mbr.dir/flow.cpp.o"
+  "CMakeFiles/mbrc_mbr.dir/flow.cpp.o.d"
+  "CMakeFiles/mbrc_mbr.dir/heuristic.cpp.o"
+  "CMakeFiles/mbrc_mbr.dir/heuristic.cpp.o.d"
+  "CMakeFiles/mbrc_mbr.dir/mapping.cpp.o"
+  "CMakeFiles/mbrc_mbr.dir/mapping.cpp.o.d"
+  "CMakeFiles/mbrc_mbr.dir/placement.cpp.o"
+  "CMakeFiles/mbrc_mbr.dir/placement.cpp.o.d"
+  "CMakeFiles/mbrc_mbr.dir/rewire.cpp.o"
+  "CMakeFiles/mbrc_mbr.dir/rewire.cpp.o.d"
+  "CMakeFiles/mbrc_mbr.dir/worked_example.cpp.o"
+  "CMakeFiles/mbrc_mbr.dir/worked_example.cpp.o.d"
+  "libmbrc_mbr.a"
+  "libmbrc_mbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbrc_mbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

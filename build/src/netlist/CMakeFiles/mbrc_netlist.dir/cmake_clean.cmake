@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbrc_netlist.dir/design.cpp.o"
+  "CMakeFiles/mbrc_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/mbrc_netlist.dir/io.cpp.o"
+  "CMakeFiles/mbrc_netlist.dir/io.cpp.o.d"
+  "CMakeFiles/mbrc_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/mbrc_netlist.dir/verilog.cpp.o.d"
+  "libmbrc_netlist.a"
+  "libmbrc_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbrc_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

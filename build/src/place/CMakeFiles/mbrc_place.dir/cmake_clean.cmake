@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbrc_place.dir/legalizer.cpp.o"
+  "CMakeFiles/mbrc_place.dir/legalizer.cpp.o.d"
+  "libmbrc_place.a"
+  "libmbrc_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbrc_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

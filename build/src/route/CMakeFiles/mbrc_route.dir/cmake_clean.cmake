@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbrc_route.dir/congestion.cpp.o"
+  "CMakeFiles/mbrc_route.dir/congestion.cpp.o.d"
+  "libmbrc_route.a"
+  "libmbrc_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbrc_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

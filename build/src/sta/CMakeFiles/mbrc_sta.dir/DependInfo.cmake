@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/feasible_region.cpp" "src/sta/CMakeFiles/mbrc_sta.dir/feasible_region.cpp.o" "gcc" "src/sta/CMakeFiles/mbrc_sta.dir/feasible_region.cpp.o.d"
+  "/root/repo/src/sta/sta.cpp" "src/sta/CMakeFiles/mbrc_sta.dir/sta.cpp.o" "gcc" "src/sta/CMakeFiles/mbrc_sta.dir/sta.cpp.o.d"
+  "/root/repo/src/sta/useful_skew.cpp" "src/sta/CMakeFiles/mbrc_sta.dir/useful_skew.cpp.o" "gcc" "src/sta/CMakeFiles/mbrc_sta.dir/useful_skew.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mbrc_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mbrc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/mbrc_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbrc_sta.dir/feasible_region.cpp.o"
+  "CMakeFiles/mbrc_sta.dir/feasible_region.cpp.o.d"
+  "CMakeFiles/mbrc_sta.dir/sta.cpp.o"
+  "CMakeFiles/mbrc_sta.dir/sta.cpp.o.d"
+  "CMakeFiles/mbrc_sta.dir/useful_skew.cpp.o"
+  "CMakeFiles/mbrc_sta.dir/useful_skew.cpp.o.d"
+  "libmbrc_sta.a"
+  "libmbrc_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbrc_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compatibility_test.dir/compatibility_test.cpp.o"
+  "CMakeFiles/compatibility_test.dir/compatibility_test.cpp.o.d"
+  "compatibility_test"
+  "compatibility_test.pdb"
+  "compatibility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compatibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

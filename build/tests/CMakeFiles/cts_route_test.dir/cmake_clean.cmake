@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cts_route_test.dir/cts_route_test.cpp.o"
+  "CMakeFiles/cts_route_test.dir/cts_route_test.cpp.o.d"
+  "cts_route_test"
+  "cts_route_test.pdb"
+  "cts_route_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cts_route_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

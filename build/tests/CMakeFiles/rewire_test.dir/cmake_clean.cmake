@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewire_test.dir/rewire_test.cpp.o"
+  "CMakeFiles/rewire_test.dir/rewire_test.cpp.o.d"
+  "rewire_test"
+  "rewire_test.pdb"
+  "rewire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[FlowSmoke.SmallDesignEndToEnd]=]  /root/repo/build/tests/flow_smoke_test [==[--gtest_filter=FlowSmoke.SmallDesignEndToEnd]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[FlowSmoke.SmallDesignEndToEnd]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  flow_smoke_test_TESTS FlowSmoke.SmallDesignEndToEnd)
