@@ -1,0 +1,87 @@
+// Thread-scaling of the full composition flow (google-benchmark): wall
+// time of run_composition_flow on the largest standard profile (D4) at
+// jobs = 1 / 2 / 4 / 8. The flow's outputs are bit-identical at every
+// job count (asserted in tests/parallel_flow_test.cpp); this bench measures
+// only the runtime effect of the per-subgraph fan-out, parallel STA and
+// overlapped evaluation. The `speedup` counter is wall time at jobs = 1
+// divided by wall time at the measured job count.
+//
+// Note: on a single-core host the global pool has zero workers and every
+// "parallel" region runs on the calling thread. Any speedup measured there
+// comes from the jobs > 1 STA path's levelized CSR edge cache (one wire
+// delay evaluation per edge instead of one per sweep), not from threads;
+// run on a multi-core host to see actual thread scaling on top of it.
+#include <benchmark/benchmark.h>
+
+#include "benchgen/generator.hpp"
+#include "mbr/flow.hpp"
+
+using namespace mbrc;
+
+namespace {
+
+// The generated design is the bench fixture, built once: generation itself
+// (placement iterations included) dwarfs a single flow run.
+struct Fixture {
+  lib::Library library;
+  benchgen::GeneratedDesign generated;
+
+  Fixture()
+      : library(lib::make_default_library()), generated(build(library)) {}
+
+  static benchgen::GeneratedDesign build(const lib::Library& library) {
+    const auto profiles = benchgen::standard_profiles();
+    const benchgen::DesignProfile* largest = &profiles.front();
+    for (const benchgen::DesignProfile& p : profiles)
+      if (p.register_cells > largest->register_cells) largest = &p;
+    return benchgen::generate_design(library, *largest);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+double& baseline_seconds() {
+  static double seconds = 0.0;
+  return seconds;
+}
+
+void BM_FlowAtJobs(benchmark::State& state) {
+  Fixture& f = fixture();
+  const int jobs = static_cast<int>(state.range(0));
+
+  mbr::FlowOptions options;
+  options.timing.clock_period = f.generated.calibrated_clock_period;
+  options.jobs = jobs;
+
+  double total_seconds = 0.0;
+  std::int64_t iterations = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    netlist::Design design = f.generated.design;  // fresh copy per run
+    state.ResumeTiming();
+
+    const mbr::FlowResult result = mbr::run_composition_flow(design, options);
+    benchmark::DoNotOptimize(result.mbrs_created);
+    total_seconds += result.total_seconds;
+    ++iterations;
+  }
+
+  const double mean_seconds =
+      iterations > 0 ? total_seconds / static_cast<double>(iterations) : 0.0;
+  if (jobs == 1) baseline_seconds() = mean_seconds;
+  state.counters["flow_s"] = mean_seconds;
+  if (baseline_seconds() > 0.0 && mean_seconds > 0.0)
+    state.counters["speedup"] = baseline_seconds() / mean_seconds;
+}
+
+// jobs = 1 must run first: it seeds the speedup baseline.
+BENCHMARK(BM_FlowAtJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -9,6 +9,7 @@
 // Expected shapes (paper): total registers drop ~29% on average (~48% of
 // the composable ones), clock cap ~6% and buffers ~4%, TNS / failing
 // endpoints / overflow essentially unchanged, wire-length not increased.
+#include <cstdlib>
 #include <iostream>
 
 #include "benchgen/generator.hpp"
@@ -70,8 +71,11 @@ void add_save_row(util::Table& table, const mbr::Metrics& base,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const lib::Library library = lib::make_default_library();
+  // Optional override of the parallel runtime's thread count; the table is
+  // bit-identical at any value (only Time(s) changes).
+  const int jobs = argc >= 2 ? std::atoi(argv[1]) : 0;
 
   util::Table table({"Design", "Cells", "Area(um2)", "TotRegs", "CompRegs",
                      "ClkBufs", "ClkCap(fF)", "ClkPwr(uW)", "TNS(ns)",
@@ -90,6 +94,7 @@ int main() {
 
     mbr::FlowOptions options;
     options.timing.clock_period = generated.calibrated_clock_period;
+    if (jobs > 0) options.jobs = jobs;
 
     const mbr::FlowResult result = mbr::run_composition_flow(design, options);
 

@@ -3,7 +3,10 @@
 // metric deltas. This is the "tool" entry point a downstream user scripts
 // against.
 //
-//   ./compose_file in.mbrc out.mbrc [clock_period_ns]
+//   ./compose_file in.mbrc out.mbrc [clock_period_ns] [jobs]
+//
+// `jobs` sets the parallel runtime's thread count (default: hardware
+// threads; 1 = serial). The composed result is bit-identical either way.
 //
 // With no arguments, the program writes a demo: it generates a design,
 // saves it, round-trips it through this same path and reports the result.
@@ -19,7 +22,7 @@ using namespace mbrc;
 namespace {
 
 int compose(const lib::Library& library, const std::string& in_path,
-            const std::string& out_path, double clock_period) {
+            const std::string& out_path, double clock_period, int jobs) {
   auto design = netlist::load_design_file(library, in_path);
   if (!design) {
     std::cerr << "cannot open " << in_path << '\n';
@@ -31,6 +34,7 @@ int compose(const lib::Library& library, const std::string& in_path,
 
   mbr::FlowOptions options;
   options.timing.clock_period = clock_period;
+  if (jobs > 0) options.jobs = jobs;
   const mbr::FlowResult result = mbr::run_composition_flow(*design, options);
 
   std::cout << "Composed " << result.mbrs_created << " MBRs from "
@@ -45,7 +49,9 @@ int compose(const lib::Library& library, const std::string& in_path,
     std::cerr << "cannot write " << out_path << '\n';
     return 1;
   }
-  std::cout << "Saved " << out_path << '\n';
+  std::cout << "Saved " << out_path << "\n\nStage timings (jobs="
+            << options.jobs << "):\n"
+            << runtime::format_stage_table(result.stages);
   return 0;
 }
 
@@ -55,8 +61,17 @@ int main(int argc, char** argv) {
   const lib::Library library = lib::make_default_library();
 
   if (argc >= 3) {
-    const double period = argc >= 4 ? std::stod(argv[3]) : 0.5;
-    return compose(library, argv[1], argv[2], period);
+    double period = 0.5;
+    int jobs = 0;
+    try {
+      if (argc >= 4) period = std::stod(argv[3]);
+      if (argc >= 5) jobs = std::stoi(argv[4]);
+    } catch (const std::exception&) {
+      std::cerr << "usage: compose_file <in.mbrc> <out.mbrc> [period_ns] "
+                   "[jobs] (numeric arguments)\n";
+      return 1;
+    }
+    return compose(library, argv[1], argv[2], period, jobs);
   }
 
   // Demo mode: generate -> save -> compose from the file -> save.
@@ -76,5 +91,5 @@ int main(int argc, char** argv) {
             << " cells, calibrated period "
             << generated.calibrated_clock_period << " ns)\n";
   return compose(library, "demo_in.mbrc", "demo_out.mbrc",
-                 generated.calibrated_clock_period);
+                 generated.calibrated_clock_period, 0);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "runtime/thread_pool.hpp"
 #include "util/assert.hpp"
 
 namespace mbrc::mbr {
@@ -52,15 +53,34 @@ CompositionPlan plan_composition(const netlist::Design& design,
       partition_graph(plan.graph, design, options.partition);
   plan.subgraph_count = static_cast<int>(subgraphs.size());
 
-  for (const auto& subgraph : subgraphs) {
-    const EnumerationResult enumeration = enumerate_candidates(
-        plan.graph, design.library(), blockers, subgraph, options.enumeration);
+  // Per-subgraph fan-out: enumeration and the branch & bound solve are
+  // fused into one task per subgraph (better load balance than two barrier
+  // stages), each writing its own pre-sized slot. The reduction below runs
+  // on this thread in subgraph order, so the plan is identical to the
+  // serial loop at any job count.
+  struct SubgraphOutcome {
+    EnumerationResult enumeration;
+    ilp::SetPartitionResult solved;
+  };
+  const std::vector<SubgraphOutcome> outcomes = runtime::parallel_transform(
+      &runtime::ThreadPool::global(), options.jobs, subgraphs,
+      [&](const std::vector<int>& subgraph) {
+        SubgraphOutcome outcome;
+        outcome.enumeration =
+            enumerate_candidates(plan.graph, design.library(), blockers,
+                                 subgraph, options.enumeration);
+        outcome.solved = solve_subgraph(
+            subgraph, outcome.enumeration.candidates, options.solver);
+        return outcome;
+      });
+
+  for (const SubgraphOutcome& outcome : outcomes) {
+    const EnumerationResult& enumeration = outcome.enumeration;
     plan.candidate_count +=
         static_cast<std::int64_t>(enumeration.candidates.size());
     if (enumeration.truncated) ++plan.truncated_subgraphs;
 
-    const ilp::SetPartitionResult solved =
-        solve_subgraph(subgraph, enumeration.candidates, options.solver);
+    const ilp::SetPartitionResult& solved = outcome.solved;
     MBRC_ASSERT_MSG(solved.feasible,
                     "subgraph ILP infeasible despite singleton candidates");
     plan.ilp_nodes += solved.nodes_explored;

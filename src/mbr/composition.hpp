@@ -20,6 +20,12 @@ struct CompositionOptions {
   PartitionOptions partition;
   EnumerationOptions enumeration;
   ilp::SetPartitionOptions solver;
+  /// Thread lanes for the per-subgraph fan-out (candidate enumeration +
+  /// branch & bound solve per subgraph). Subgraphs are independent and the
+  /// reduction into the plan happens in subgraph order on the calling
+  /// thread, so the plan -- selections, objective, node counts -- is
+  /// identical at any job count; 1 runs the serial loop.
+  int jobs = 1;
 };
 
 /// One selected MBR (or kept singleton) after solving the ILP.

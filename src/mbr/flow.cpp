@@ -1,6 +1,7 @@
 #include "mbr/flow.hpp"
 
 #include <algorithm>
+#include <future>
 
 #include "util/assert.hpp"
 #include "util/stopwatch.hpp"
@@ -12,7 +13,25 @@ Metrics evaluate_design(const netlist::Design& design,
   Metrics m;
   m.design = design.stats();
 
-  const sta::TimingReport timing = run_sta(design, options.timing, skew);
+  sta::TimingOptions timing_options = options.timing;
+  timing_options.jobs = options.jobs;
+
+  // The three substrates (STA, CTS estimate, congestion map) only read the
+  // design; with parallel lanes enabled the estimates run on the pool while
+  // STA occupies the remaining lanes. Each writes its own result slot, so
+  // the metrics are identical to the serial order below.
+  runtime::ThreadPool& pool = runtime::ThreadPool::global();
+  const bool overlap = options.jobs > 1;
+  std::future<cts::ClockTreeStats> tree_future;
+  std::future<route::CongestionMap> congestion_future;
+  if (overlap) {
+    tree_future = pool.async(
+        [&] { return cts::estimate_clock_tree(design, options.cts); });
+    congestion_future = pool.async(
+        [&] { return route::estimate_congestion(design, options.route); });
+  }
+
+  const sta::TimingReport timing = run_sta(design, timing_options, skew);
   m.wns = timing.wns();
   m.tns = timing.tns();
   m.failing_endpoints = timing.failing_endpoints();
@@ -23,7 +42,9 @@ Metrics evaluate_design(const netlist::Design& design,
   for (netlist::CellId reg : design.registers())
     if (is_composable(design, reg)) ++m.composable_registers;
 
-  const cts::ClockTreeStats tree = cts::estimate_clock_tree(design, options.cts);
+  const cts::ClockTreeStats tree =
+      overlap ? runtime::help_get(pool, std::move(tree_future))
+              : cts::estimate_clock_tree(design, options.cts);
   m.clock_buffers = tree.buffers;
   m.clock_cap = tree.total_cap();
   m.clock_wire = tree.wire_length;
@@ -42,7 +63,8 @@ Metrics evaluate_design(const netlist::Design& design,
   }
 
   const route::CongestionMap congestion =
-      route::estimate_congestion(design, options.route);
+      overlap ? runtime::help_get(pool, std::move(congestion_future))
+              : route::estimate_congestion(design, options.route);
   m.overflow_edges = congestion.overflow_edges();
   m.max_congestion = congestion.max_utilization();
   return m;
@@ -113,8 +135,20 @@ void size_new_mbrs(netlist::Design& design,
 FlowResult run_composition_flow(netlist::Design& design,
                                 const FlowOptions& options) {
   util::Stopwatch total_clock;
+  runtime::Metrics stage_metrics;
   FlowResult result;
-  result.before = evaluate_design(design, options);
+
+  // One jobs knob drives every stage: the copies push it into the nested
+  // option structs the stages read.
+  sta::TimingOptions timing_options = options.timing;
+  timing_options.jobs = options.jobs;
+  CompositionOptions composition_options = options.composition;
+  composition_options.jobs = options.jobs;
+
+  {
+    runtime::StageTimer timer(stage_metrics, "evaluate.before");
+    result.before = evaluate_design(design, options);
+  }
 
   util::Stopwatch compose_clock;
 
@@ -122,9 +156,12 @@ FlowResult run_composition_flow(netlist::Design& design,
   // MBRs so composition can regroup their bits with neighbors. Slack-gated:
   // critical registers stay intact.
   if (options.decompose_wide_mbrs) {
-    const sta::TimingReport pre = run_sta(design, options.timing);
+    runtime::StageTimer timer(stage_metrics, "decompose");
+    const sta::TimingReport pre = run_sta(design, timing_options);
     result.decomposition =
         decompose_registers(design, options.decompose, &pre);
+    timer.add_items(
+        static_cast<std::int64_t>(result.decomposition.pieces.size()));
     if (!result.decomposition.pieces.empty()) {
       place::RowGrid grid =
           place::build_occupancy(design, result.decomposition.pieces);
@@ -134,36 +171,48 @@ FlowResult run_composition_flow(netlist::Design& design,
     }
   }
 
-  const sta::TimingReport timing = run_sta(design, options.timing);
+  sta::TimingReport timing;
+  {
+    runtime::StageTimer timer(stage_metrics, "sta.plan");
+    timing = run_sta(design, timing_options);
+  }
 
-  result.plan = options.allocator == Allocator::kIlp
-                    ? plan_composition(design, timing, options.composition)
-                    : plan_composition_heuristic(design, timing,
-                                                 options.composition);
+  {
+    runtime::StageTimer timer(stage_metrics, "plan");
+    result.plan = options.allocator == Allocator::kIlp
+                      ? plan_composition(design, timing, composition_options)
+                      : plan_composition_heuristic(design, timing,
+                                                   composition_options);
+    timer.add_items(result.plan.subgraph_count);
+  }
 
   // Apply the merges: map -> place -> rewire.
   std::vector<netlist::CellId> new_cells;
-  int name_counter = 0;
-  for (const Selection* selection : result.plan.merges()) {
-    std::string why;
-    const auto mapping = map_candidate(design, result.plan.graph,
-                                       selection->candidate, options.mapping,
-                                       &why);
-    if (!mapping) {
-      ++result.rejected_at_mapping;
-      continue;
+  {
+    runtime::StageTimer timer(stage_metrics, "apply");
+    int name_counter = 0;
+    for (const Selection* selection : result.plan.merges()) {
+      std::string why;
+      const auto mapping = map_candidate(design, result.plan.graph,
+                                         selection->candidate, options.mapping,
+                                         &why);
+      if (!mapping) {
+        ++result.rejected_at_mapping;
+        continue;
+      }
+      const geom::Point position =
+          place_mbr(design, result.plan.graph, selection->candidate, *mapping,
+                    options.placement);
+      const netlist::CellId mbr = rewire_candidate(
+          design, result.plan.graph, selection->candidate, *mapping, position,
+          "mbrc_" + std::to_string(name_counter++));
+      new_cells.push_back(mbr);
+      ++result.mbrs_created;
+      result.registers_merged +=
+          static_cast<int>(selection->candidate.nodes.size());
+      if (selection->candidate.is_incomplete()) ++result.incomplete_mbrs;
     }
-    const geom::Point position =
-        place_mbr(design, result.plan.graph, selection->candidate, *mapping,
-                  options.placement);
-    const netlist::CellId mbr = rewire_candidate(
-        design, result.plan.graph, selection->candidate, *mapping, position,
-        "mbrc_" + std::to_string(name_counter++));
-    new_cells.push_back(mbr);
-    ++result.mbrs_created;
-    result.registers_merged +=
-        static_cast<int>(selection->candidate.nodes.size());
-    if (selection->candidate.is_incomplete()) ++result.incomplete_mbrs;
+    timer.add_items(result.mbrs_created);
   }
 
   // Undo splits whose pieces found no partners (no-lose guarantee of the
@@ -178,6 +227,8 @@ FlowResult run_composition_flow(netlist::Design& design,
   // Incremental legalization of the new MBRs (widest first: they are the
   // hardest to fit and have placement priority).
   if (!new_cells.empty()) {
+    runtime::StageTimer timer(stage_metrics, "legalize");
+    timer.add_items(static_cast<std::int64_t>(new_cells.size()));
     std::vector<netlist::CellId> order = new_cells;
     std::sort(order.begin(), order.end(),
               [&](netlist::CellId a, netlist::CellId b) {
@@ -192,23 +243,35 @@ FlowResult run_composition_flow(netlist::Design& design,
                     "MBR legalization failed: core too full");
   }
 
-  result.restitch = restitch_scan_chains(design);
+  {
+    runtime::StageTimer timer(stage_metrics, "scan_restitch");
+    result.restitch = restitch_scan_chains(design);
+  }
   result.compose_seconds = compose_clock.seconds();
 
   // Useful skew on the new MBRs, then sizing under the final skews.
   if (options.apply_useful_skew && !new_cells.empty()) {
+    runtime::StageTimer timer(stage_metrics, "useful_skew");
     std::unordered_set<netlist::CellId> allowed(new_cells.begin(),
                                                 new_cells.end());
     const auto skew_result = optimize_useful_skew(
-        design, options.timing, options.skew, {},
+        design, timing_options, options.skew, {},
         options.skew_only_new_mbrs ? &allowed : nullptr);
     result.skew = skew_result.skew;
+    timer.add_items(skew_result.iterations_run);
   }
-  if (options.size_new_mbrs)
-    size_new_mbrs(design, new_cells, options.timing, result.skew);
+  if (options.size_new_mbrs) {
+    runtime::StageTimer timer(stage_metrics, "size_mbrs");
+    size_new_mbrs(design, new_cells, timing_options, result.skew);
+    timer.add_items(static_cast<std::int64_t>(new_cells.size()));
+  }
 
-  result.after = evaluate_design(design, options, result.skew);
+  {
+    runtime::StageTimer timer(stage_metrics, "evaluate.after");
+    result.after = evaluate_design(design, options, result.skew);
+  }
   result.total_seconds = total_clock.seconds();
+  result.stages = stage_metrics.snapshot();
   return result;
 }
 

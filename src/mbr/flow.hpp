@@ -21,6 +21,8 @@
 #include "mbr/rewire.hpp"
 #include "place/legalizer.hpp"
 #include "route/congestion.hpp"
+#include "runtime/stage_timer.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sta/useful_skew.hpp"
 
 namespace mbrc::mbr {
@@ -48,6 +50,11 @@ struct FlowOptions {
   /// Post-composition sizing: downsize each new MBR to the weakest drive
   /// variant that keeps its slacks non-negative.
   bool size_new_mbrs = true;
+  /// Thread lanes for the parallel runtime (per-subgraph planning fan-out,
+  /// levelized STA, overlapped evaluation). Results are bit-identical at
+  /// any value; 1 runs the exact serial path. Defaults to the hardware
+  /// thread count.
+  int jobs = runtime::default_jobs();
 };
 
 /// The Table 1 measurement set for one design state.
@@ -85,6 +92,10 @@ struct FlowResult {
   sta::SkewMap skew;
   double compose_seconds = 0.0;  // plan + map + place + rewire + legalize
   double total_seconds = 0.0;
+  /// Per-stage wall times and work counts (runtime::StageTimer probes).
+  /// Measurement only: stage timings vary run to run and are excluded from
+  /// the deterministic-output contract.
+  runtime::StageTable stages;
   CompositionPlan plan;          // the accepted plan (for reporting)
 };
 

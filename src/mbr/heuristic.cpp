@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "runtime/thread_pool.hpp"
 #include "util/assert.hpp"
 
 namespace mbrc::mbr {
@@ -57,8 +58,18 @@ CompositionPlan plan_composition_heuristic(const netlist::Design& design,
   const auto subgraphs = partition_graph(plan.graph, design, options.partition);
   plan.subgraph_count = static_cast<int>(subgraphs.size());
 
-  for (const auto& subgraph : subgraphs) {
-    if (subgraph.empty()) continue;
+  // Per-subgraph fan-out (Bron-Kerbosch + trim + greedy commit per task,
+  // each into its own slot); the appends below run in subgraph order, so
+  // the plan matches the serial loop at any job count.
+  struct SubgraphOutcome {
+    std::int64_t clique_count = 0;
+    std::vector<Selection> selections;
+  };
+  std::vector<SubgraphOutcome> outcomes = runtime::parallel_transform(
+      &runtime::ThreadPool::global(), options.jobs, subgraphs,
+      [&](const std::vector<int>& subgraph) {
+    SubgraphOutcome outcome;
+    if (subgraph.empty()) return outcome;
     const auto widths = design.library().available_widths(
         plan.graph.node(subgraph.front()).lib_cell->function);
 
@@ -68,7 +79,7 @@ CompositionPlan plan_composition_heuristic(const netlist::Design& design,
     // first). Leftover members of overlapping cliques strand as singletons
     // -- exactly the fragmentation the exact ILP avoids.
     const auto cliques = maximal_cliques(plan.graph, subgraph);
-    plan.candidate_count += static_cast<std::int64_t>(cliques.size());
+    outcome.clique_count = static_cast<std::int64_t>(cliques.size());
 
     struct Mapped {
       std::vector<int> nodes;
@@ -124,7 +135,7 @@ CompositionPlan plan_composition_heuristic(const netlist::Design& design,
         used[node] = true;
         selection.members.push_back(plan.graph.node(node).cell);
       }
-      plan.selections.push_back(std::move(selection));
+      outcome.selections.push_back(std::move(selection));
     }
 
     for (int node : subgraph) {
@@ -136,8 +147,15 @@ CompositionPlan plan_composition_heuristic(const netlist::Design& design,
       selection.candidate.weight = 1.0;
       selection.candidate.common_region = plan.graph.node(node).region;
       selection.members.push_back(plan.graph.node(node).cell);
-      plan.selections.push_back(std::move(selection));
+      outcome.selections.push_back(std::move(selection));
     }
+    return outcome;
+  });
+
+  for (SubgraphOutcome& outcome : outcomes) {
+    plan.candidate_count += outcome.clique_count;
+    for (Selection& selection : outcome.selections)
+      plan.selections.push_back(std::move(selection));
   }
 
   std::sort(plan.selections.begin(), plan.selections.end(),

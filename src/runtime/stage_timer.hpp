@@ -1,0 +1,87 @@
+// Per-stage flow instrumentation.
+//
+// A Metrics registry collects named StageStats counters (wall seconds,
+// invocation count, item count); StageTimer is the RAII probe that records
+// one timed section into it. The registry is thread-safe so stages running
+// on pool workers can record concurrently, but note that wall-clock values
+// are measurement, not output: flow results compared across thread counts
+// exclude them (see DESIGN.md, "Parallel runtime").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/stopwatch.hpp"
+
+namespace mbrc::runtime {
+
+struct StageStats {
+  double seconds = 0.0;     // accumulated wall time
+  std::int64_t calls = 0;   // timed sections recorded
+  std::int64_t items = 0;   // stage-defined work units (subgraphs, pins, ...)
+};
+
+/// Snapshot type handed to flow results: plain data, freely copyable.
+using StageTable = std::map<std::string, StageStats, std::less<>>;
+
+/// Formats a snapshot as one line per stage (name, calls, items, seconds),
+/// in name order.
+std::string format_stage_table(const StageTable& stats);
+
+class Metrics {
+public:
+  void record(std::string_view stage, double seconds, std::int64_t items = 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    StageStats& s = stats_[std::string(stage)];
+    s.seconds += seconds;
+    s.calls += 1;
+    s.items += items;
+  }
+
+  StageTable snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  /// Formatted per-stage report (name, calls, items, seconds), one line per
+  /// stage in name order.
+  std::string report() const;
+
+private:
+  mutable std::mutex mutex_;
+  StageTable stats_;
+};
+
+/// RAII stage probe: times its scope and records into the registry on
+/// destruction (or earlier via stop()).
+class StageTimer {
+public:
+  StageTimer(Metrics& metrics, std::string_view stage)
+      : metrics_(&metrics), stage_(stage) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() { stop(); }
+
+  /// Attributes `count` work units to this section.
+  void add_items(std::int64_t count) { items_ += count; }
+
+  /// Records now instead of at scope exit; idempotent.
+  void stop() {
+    if (metrics_ == nullptr) return;
+    metrics_->record(stage_, clock_.seconds(), items_);
+    metrics_ = nullptr;
+  }
+
+private:
+  Metrics* metrics_;
+  std::string stage_;
+  std::int64_t items_ = 0;
+  util::Stopwatch clock_;
+};
+
+}  // namespace mbrc::runtime

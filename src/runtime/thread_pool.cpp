@@ -1,0 +1,126 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mbrc::runtime {
+
+namespace {
+
+// Identifies the owning pool and worker index of the current thread so
+// submit() can push to the local deque and try_pop can prefer it.
+struct WorkerContext {
+  ThreadPool* pool = nullptr;
+  int index = -1;
+};
+
+thread_local WorkerContext tls_worker;
+
+}  // namespace
+
+int default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int workers) {
+  workers = std::max(0, workers);
+  // At least one queue so external submissions have somewhere to land even
+  // on a workerless pool (run_one drains it).
+  queues_.reserve(static_cast<std::size_t>(std::max(1, workers)));
+  for (int i = 0; i < std::max(1, workers); ++i)
+    queues_.push_back(std::make_unique<Queue>());
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_.store(true);
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  // Drain anything left behind (tasks submitted to a workerless pool).
+  while (run_one()) {
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  if (tls_worker.pool == this) {
+    target = static_cast<std::size_t>(tls_worker.index);
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    // Publishing the pending count under sleep_mutex_ pairs with the wait
+    // predicate in worker_loop; without it a notify can slip between a
+    // worker's predicate check and its sleep and the task sits unseen.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_pop(int preferred, std::function<void()>& out) {
+  const std::size_t n = queues_.size();
+  const std::size_t start =
+      preferred >= 0 ? static_cast<std::size_t>(preferred) : 0;
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t q = (start + probe) % n;
+    Queue& queue = *queues_[q];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.tasks.empty()) continue;
+    if (probe == 0 && preferred >= 0) {
+      // Own deque: newest first (LIFO keeps the working set hot).
+      out = std::move(queue.tasks.back());
+      queue.tasks.pop_back();
+    } else {
+      // Steal the oldest task from a sibling.
+      out = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+    }
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::run_one() {
+  std::function<void()> task;
+  const int preferred = tls_worker.pool == this ? tls_worker.index : -1;
+  if (!try_pop(preferred, task)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(int self) {
+  tls_worker.pool = this;
+  tls_worker.index = self;
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop(self, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    wake_.wait(lock, [this] {
+      return stop_.load() || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load() && pending_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_jobs() - 1);
+  return pool;
+}
+
+}  // namespace mbrc::runtime

@@ -27,6 +27,11 @@ struct TimingOptions {
   double wire_res_per_um = 0.003; // kOhm / um
   double input_delay = 0.05;      // ns of arrival at input ports
   double output_margin = 0.05;    // ns subtracted from output-port required
+  /// Thread lanes for the levelized propagation passes. 1 runs the serial
+  /// reference path; > 1 runs the parallel gather path, whose arrivals,
+  /// requireds and endpoint report are bit-identical to serial at any lane
+  /// count (max/min reductions over the same operand sets).
+  int jobs = 1;
 };
 
 /// Per-register clock arrival offsets (useful skew), in ns. Registers not in

@@ -28,9 +28,28 @@ class Rng {
 public:
   using result_type = std::uint64_t;
 
-  explicit Rng(std::uint64_t seed = 0x6d624253eed17ULL) {
+  explicit Rng(std::uint64_t seed = 0x6d624253eed17ULL) : seed_(seed) {
     std::uint64_t sm = seed;
     for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// The seed this generator was constructed from (unchanged by draws).
+  std::uint64_t seed() const { return seed_; }
+
+  /// Derives an independent deterministic sub-stream generator. The child
+  /// depends only on (parent seed, stream) -- not on how many draws the
+  /// parent has made -- and splitting does not advance the parent. This is
+  /// the sanctioned way to hand randomness to parallel-runtime tasks: give
+  /// task i `rng.split(i)` and the draws are reproducible at any thread
+  /// count. Distinct streams give statistically independent sequences (the
+  /// stream index is diffused through two SplitMix64 rounds before seeding
+  /// xoshiro, so adjacent indices share no state structure).
+  Rng split(std::uint64_t stream) const {
+    std::uint64_t sm = seed_ ^ 0x53a862697364ULL;
+    const std::uint64_t base = splitmix64(sm);
+    sm = base + stream;
+    const std::uint64_t child_seed = splitmix64(sm);
+    return Rng(child_seed);
   }
 
   static constexpr result_type min() { return 0; }
@@ -85,6 +104,7 @@ private:
     return (x << k) | (x >> (64 - k));
   }
 
+  std::uint64_t seed_ = 0;
   std::array<std::uint64_t, 4> state_{};
 };
 

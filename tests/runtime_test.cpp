@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/stage_timer.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace mbrc::runtime {
+namespace {
+
+TEST(ThreadPool, DefaultJobsIsPositive) { EXPECT_GE(default_jobs(), 1); }
+
+TEST(ThreadPool, ShutdownRunsAllSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 200; ++i)
+      pool.submit([&ran] { ran.fetch_add(1); });
+    // Destructor joins the workers and drains any leftovers itself.
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolDrainsViaRunOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+  while (pool.run_one()) {
+  }
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_FALSE(pool.run_one());
+}
+
+TEST(ThreadPool, AsyncReturnsValueAndRunsInlineWithoutWorkers) {
+  ThreadPool pool(0);
+  auto future = pool.async([] { return 41 + 1; });
+  // No workers: the task must already have run inline.
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get(), 42);
+
+  ThreadPool threaded(2);
+  auto f2 = threaded.async([] { return std::string("done"); });
+  EXPECT_EQ(help_get(threaded, std::move(f2)), "done");
+}
+
+TEST(ThreadPool, AsyncPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.async([]() -> int {
+    throw std::runtime_error("async boom");
+  });
+  EXPECT_THROW(help_get(pool, std::move(future)), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(&pool, 4, kCount, 16,
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, SerialShortCircuits) {
+  // jobs <= 1 and null pool both run the plain loop, in order.
+  std::vector<std::size_t> order;
+  parallel_for(nullptr, 8, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+
+  ThreadPool pool(2);
+  order.clear();
+  parallel_for(&pool, 1, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      parallel_for(&pool, 4, 1000, 1,
+                   [&](std::size_t i) {
+                     ran.fetch_add(1);
+                     if (i == 17) throw std::runtime_error("for boom");
+                   }),
+      std::runtime_error);
+  // Cancellation is cooperative: some chunks after the throw may have run,
+  // but the region must have stopped well short of the full range.
+  EXPECT_GE(ran.load(), 1);
+}
+
+TEST(ParallelFor, NestedRegionsComplete) {
+  // Outer region over 8 items, each spawning an inner region on the same
+  // pool. Blocked outer tasks help drain the pool, so this must not
+  // deadlock even with few workers.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> counts(8 * 64);
+  parallel_for(&pool, 3, 8, [&](std::size_t outer) {
+    parallel_for(&pool, 3, 64, 4, [&](std::size_t inner) {
+      counts[outer * 64 + inner].fetch_add(1);
+    });
+  });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelTransform, MatchesSerialMapInOrder) {
+  ThreadPool pool(4);
+  std::vector<int> items(5000);
+  std::iota(items.begin(), items.end(), 0);
+
+  const auto square = [](const int& v) { return v * v; };
+  const std::vector<int> serial =
+      parallel_transform(nullptr, 1, items, square);
+  const std::vector<int> parallel =
+      parallel_transform(&pool, 4, items, square, 8);
+
+  ASSERT_EQ(serial.size(), items.size());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(StageTimerTest, RecordsCallsItemsAndTime) {
+  Metrics metrics;
+  for (int i = 0; i < 3; ++i) {
+    StageTimer timer(metrics, "stage.a");
+    timer.add_items(10);
+  }
+  {
+    StageTimer timer(metrics, "stage.b");
+    timer.stop();
+    timer.stop();  // idempotent: records once
+  }
+
+  const StageTable table = metrics.snapshot();
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.at("stage.a").calls, 3);
+  EXPECT_EQ(table.at("stage.a").items, 30);
+  EXPECT_GE(table.at("stage.a").seconds, 0.0);
+  EXPECT_EQ(table.at("stage.b").calls, 1);
+
+  const std::string report = format_stage_table(table);
+  EXPECT_NE(report.find("stage.a"), std::string::npos);
+  EXPECT_NE(report.find("stage.b"), std::string::npos);
+}
+
+TEST(StageTimerTest, ConcurrentRecordsAggregate) {
+  Metrics metrics;
+  ThreadPool pool(4);
+  parallel_for(&pool, 4, 100, [&](std::size_t) {
+    StageTimer timer(metrics, "hot");
+    timer.add_items(1);
+  });
+  const StageTable table = metrics.snapshot();
+  EXPECT_EQ(table.at("hot").calls, 100);
+  EXPECT_EQ(table.at("hot").items, 100);
+}
+
+}  // namespace
+}  // namespace mbrc::runtime

@@ -41,6 +41,57 @@ TEST(Rng, DeterministicPerSeed) {
   EXPECT_TRUE(any_diff);
 }
 
+TEST(Rng, SplitIsReproducibleAndIndependentOfParentPosition) {
+  // Same (seed, stream) -> same sub-stream, regardless of how many draws
+  // the parent has made before splitting.
+  Rng fresh(42);
+  Rng advanced(42);
+  for (int i = 0; i < 57; ++i) (void)advanced();
+  Rng child_a = fresh.split(3);
+  Rng child_b = advanced.split(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child_a(), child_b());
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng with_split(42);
+  Rng without_split(42);
+  (void)with_split.split(0);
+  (void)with_split.split(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(with_split(), without_split());
+}
+
+TEST(Rng, SplitStreamsAreDistinct) {
+  // Different streams (and the parent itself) produce different sequences.
+  Rng parent(42);
+  Rng s0 = parent.split(0);
+  Rng s1 = parent.split(1);
+  bool s0_vs_s1 = false, s0_vs_parent = false;
+  Rng parent_copy(42);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = s0();
+    s0_vs_s1 |= a != s1();
+    s0_vs_parent |= a != parent_copy();
+  }
+  EXPECT_TRUE(s0_vs_s1);
+  EXPECT_TRUE(s0_vs_parent);
+
+  // Adjacent streams across many indices stay pairwise distinct on their
+  // first draw (no structural collisions from the index arithmetic).
+  std::set<std::uint64_t> first_draws;
+  for (std::uint64_t stream = 0; stream < 256; ++stream) {
+    Rng child = parent.split(stream);
+    first_draws.insert(child());
+  }
+  EXPECT_EQ(first_draws.size(), 256u);
+}
+
+TEST(Rng, SeedAccessorSurvivesDraws) {
+  Rng rng(1234);
+  for (int i = 0; i < 10; ++i) (void)rng();
+  EXPECT_EQ(rng.seed(), 1234u);
+  EXPECT_EQ(rng.split(5).seed(), Rng(1234).split(5).seed());
+}
+
 TEST(Rng, UniformIntInRangeAndCoversRange) {
   Rng rng(7);
   std::set<std::int64_t> seen;
