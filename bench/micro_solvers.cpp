@@ -87,6 +87,7 @@ void BM_BronKerbosch(benchmark::State& state) {
   for (int i = 0; i < n; ++i)
     for (int j = i + 1; j < n; ++j)
       if (rng.chance(0.4)) graph.add_edge(i, j);
+  graph.finalize();
   std::vector<int> nodes(n);
   for (int i = 0; i < n; ++i) nodes[i] = i;
   for (auto _ : state)

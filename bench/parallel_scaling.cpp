@@ -7,11 +7,15 @@
 // divided by wall time at the measured job count.
 //
 // Note: on a single-core host the global pool has zero workers and every
-// "parallel" region runs on the calling thread. Any speedup measured there
-// comes from the jobs > 1 STA path's levelized CSR edge cache (one wire
-// delay evaluation per edge instead of one per sweep), not from threads;
-// run on a multi-core host to see actual thread scaling on top of it.
+// "parallel" region runs on the calling thread, so jobs > 1 rows differ
+// from jobs = 1 only by scheduling noise (the levelized CSR timing graph
+// is the one STA implementation at every job count); run on a multi-core
+// host to see actual thread scaling.
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <map>
+#include <string>
 
 #include "benchgen/generator.hpp"
 #include "mbr/flow.hpp"
@@ -48,6 +52,12 @@ double& baseline_seconds() {
   return seconds;
 }
 
+// jobs -> mean flow seconds, collected for the JSON emission in main().
+std::map<int, double>& recorded_runs() {
+  static std::map<int, double> runs;
+  return runs;
+}
+
 void BM_FlowAtJobs(benchmark::State& state) {
   Fixture& f = fixture();
   const int jobs = static_cast<int>(state.range(0));
@@ -75,6 +85,7 @@ void BM_FlowAtJobs(benchmark::State& state) {
   state.counters["flow_s"] = mean_seconds;
   if (baseline_seconds() > 0.0 && mean_seconds > 0.0)
     state.counters["speedup"] = baseline_seconds() / mean_seconds;
+  recorded_runs()[jobs] = mean_seconds;
 }
 
 // jobs = 1 must run first: it seeds the speedup baseline.
@@ -84,4 +95,27 @@ BENCHMARK(BM_FlowAtJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): after the google-benchmark run,
+// the per-jobs means are also written as machine-readable JSON
+// (BENCH_parallel_scaling.json in the working directory, or the path in
+// MBRC_BENCH_JSON) so CI and the experiment log can diff them.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const char* env = std::getenv("MBRC_BENCH_JSON");
+  const std::string out_path = env ? env : "BENCH_parallel_scaling.json";
+  const double base = recorded_runs().count(1) ? recorded_runs().at(1) : 0.0;
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"parallel_scaling\",\n  \"runs\": [\n";
+  std::size_t i = 0;
+  for (const auto& [jobs, seconds] : recorded_runs()) {
+    out << "    {\"jobs\": " << jobs << ", \"flow_seconds\": " << seconds
+        << ", \"speedup\": " << (seconds > 0.0 ? base / seconds : 0.0) << "}"
+        << (++i < recorded_runs().size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return 0;
+}

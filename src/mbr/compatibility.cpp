@@ -11,11 +11,13 @@
 namespace mbrc::mbr {
 
 bool CompatibilityGraph::has_edge(int a, int b) const {
+  MBRC_ASSERT_MSG(!dirty_, "CompatibilityGraph read before finalize()");
   const auto& adj = adjacency_[a];
   return std::binary_search(adj.begin(), adj.end(), b);
 }
 
 std::int64_t CompatibilityGraph::edge_count() const {
+  MBRC_ASSERT_MSG(!dirty_, "CompatibilityGraph read before finalize()");
   std::int64_t total = 0;
   for (const auto& adj : adjacency_) total += static_cast<std::int64_t>(adj.size());
   return total / 2;
@@ -27,18 +29,27 @@ int CompatibilityGraph::add_node(RegisterInfo info) {
   return node_count() - 1;
 }
 
+// O(1) append; a sorted-insert here is O(degree) per edge and turns dense
+// subgraph construction quadratic. finalize() restores the sorted/unique
+// representation has_edge's binary search relies on.
 void CompatibilityGraph::add_edge(int a, int b) {
   MBRC_ASSERT(a != b && a >= 0 && b >= 0 && a < node_count() &&
               b < node_count());
-  auto insert_sorted = [](std::vector<int>& v, int x) {
-    const auto it = std::lower_bound(v.begin(), v.end(), x);
-    if (it == v.end() || *it != x) v.insert(it, x);
-  };
-  insert_sorted(adjacency_[a], b);
-  insert_sorted(adjacency_[b], a);
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  dirty_ = true;
+}
+
+void CompatibilityGraph::finalize() {
+  for (auto& adj : adjacency_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+  dirty_ = false;
 }
 
 std::vector<std::vector<int>> CompatibilityGraph::connected_components() const {
+  MBRC_ASSERT_MSG(!dirty_, "CompatibilityGraph read before finalize()");
   std::vector<int> component(node_count(), -1);
   std::vector<std::vector<int>> components;
   std::vector<int> stack;
@@ -188,21 +199,30 @@ CompatibilityGraph build_compatibility_graph(
   const double bin = std::max(1.0, options.max_distance);
   for (const auto& [key, members] : groups) {
     // Spatial hash: bin by center; candidate pairs live in the 3x3 block.
+    // Neighbor probing works in integer bin coordinates: re-deriving a
+    // neighbor's key from the float point c + d*bin can land in the wrong
+    // bin when c sits at a bin boundary (the rounded sum crosses it),
+    // silently dropping compatible pairs.
     std::unordered_map<std::int64_t, std::vector<int>> bins;
-    auto bin_key = [&](const geom::Point& p) {
-      const auto bx = static_cast<std::int64_t>(std::floor(p.x / bin));
-      const auto by = static_cast<std::int64_t>(std::floor(p.y / bin));
+    auto key_of = [](std::int64_t bx, std::int64_t by) {
       return (bx << 32) ^ (by & 0xffffffff);
     };
-    for (int i : members) bins[bin_key(graph.node(i).center())].push_back(i);
+    auto bin_coord = [&](double v) {
+      return static_cast<std::int64_t>(std::floor(v / bin));
+    };
+    for (int i : members) {
+      const geom::Point c = graph.node(i).center();
+      bins[key_of(bin_coord(c.x), bin_coord(c.y))].push_back(i);
+    }
 
     for (int i : members) {
       const RegisterInfo& a = graph.node(i);
       const geom::Point c = a.center();
+      const std::int64_t bx = bin_coord(c.x);
+      const std::int64_t by = bin_coord(c.y);
       for (int dx = -1; dx <= 1; ++dx) {
         for (int dy = -1; dy <= 1; ++dy) {
-          const geom::Point probe{c.x + dx * bin, c.y + dy * bin};
-          const auto it = bins.find(bin_key(probe));
+          const auto it = bins.find(key_of(bx + dx, by + dy));
           if (it == bins.end()) continue;
           for (int j : it->second) {
             if (j <= i) continue;  // each unordered pair once
@@ -216,6 +236,7 @@ CompatibilityGraph build_compatibility_graph(
       }
     }
   }
+  graph.finalize();
   return graph;
 }
 

@@ -70,20 +70,28 @@ public:
   RegisterInfo& node_mutable(int i) { return nodes_[i]; }
   int node_count() const { return static_cast<int>(nodes_.size()); }
 
-  const std::vector<int>& neighbors(int i) const { return adjacency_[i]; }
+  const std::vector<int>& neighbors(int i) const {
+    MBRC_ASSERT_MSG(!dirty_, "CompatibilityGraph read before finalize()");
+    return adjacency_[i];
+  }
   bool has_edge(int a, int b) const;
   std::int64_t edge_count() const;
 
   /// Connected components, each a sorted list of node indices.
   std::vector<std::vector<int>> connected_components() const;
 
-  // Construction (used by build_compatibility_graph and tests).
+  // Construction (used by build_compatibility_graph and tests). Edges are
+  // appended in O(1); call finalize() once after the last add_edge to sort
+  // and deduplicate the adjacency lists. Reads (neighbors/has_edge/...)
+  // assert that the graph is finalized.
   int add_node(RegisterInfo info);
   void add_edge(int a, int b);
+  void finalize();
 
 private:
   std::vector<RegisterInfo> nodes_;
-  std::vector<std::vector<int>> adjacency_;  // sorted
+  std::vector<std::vector<int>> adjacency_;  // sorted once finalized
+  bool dirty_ = false;                       // edges appended, not yet sorted
 };
 
 /// True when `cell` may be composed at all (Sec. 5's 'Comp-Regs' notion):

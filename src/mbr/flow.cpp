@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <future>
 
+#include "sta/timing_engine.hpp"
 #include "util/assert.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mbrc::mbr {
 
 Metrics evaluate_design(const netlist::Design& design,
-                        const FlowOptions& options, const sta::SkewMap& skew) {
+                        const FlowOptions& options, const sta::SkewMap& skew,
+                        sta::TimingEngine* engine) {
   Metrics m;
   m.design = design.stats();
 
@@ -31,7 +33,8 @@ Metrics evaluate_design(const netlist::Design& design,
         [&] { return route::estimate_congestion(design, options.route); });
   }
 
-  const sta::TimingReport timing = run_sta(design, timing_options, skew);
+  const sta::TimingReport& timing =
+      engine ? engine->update(skew) : run_sta(design, timing_options, skew);
   m.wns = timing.wns();
   m.tns = timing.tns();
   m.failing_endpoints = timing.failing_endpoints();
@@ -76,10 +79,9 @@ namespace {
 // Q-side slack stays non-negative; runs a final STA pass internally.
 void size_new_mbrs(netlist::Design& design,
                    const std::vector<netlist::CellId>& new_cells,
-                   const sta::TimingOptions& timing_options,
-                   const sta::SkewMap& skew) {
+                   const sta::SkewMap& skew, sta::TimingEngine& engine) {
   if (new_cells.empty()) return;
-  sta::TimingReport timing = run_sta(design, timing_options, skew);
+  const sta::TimingReport& timing = engine.update(skew);
 
   for (netlist::CellId cell_id : new_cells) {
     const netlist::Cell& cell = design.cell(cell_id);
@@ -145,9 +147,16 @@ FlowResult run_composition_flow(netlist::Design& design,
   CompositionOptions composition_options = options.composition;
   composition_options.jobs = options.jobs;
 
+  // One timing engine spans the whole flow: the timing graph is built once
+  // per netlist topology and every later query is an incremental repair.
+  // Structural stages (decompose, rewire) bump the design's topology
+  // version, so the engine rebuilds exactly when it must; the useful-skew
+  // loop and the post-compose queries ride on cheap dirty-cone updates.
+  sta::TimingEngine engine(design, timing_options);
+
   {
     runtime::StageTimer timer(stage_metrics, "evaluate.before");
-    result.before = evaluate_design(design, options);
+    result.before = evaluate_design(design, options, {}, &engine);
   }
 
   util::Stopwatch compose_clock;
@@ -157,7 +166,7 @@ FlowResult run_composition_flow(netlist::Design& design,
   // critical registers stay intact.
   if (options.decompose_wide_mbrs) {
     runtime::StageTimer timer(stage_metrics, "decompose");
-    const sta::TimingReport pre = run_sta(design, timing_options);
+    const sta::TimingReport& pre = engine.update();
     result.decomposition =
         decompose_registers(design, options.decompose, &pre);
     timer.add_items(
@@ -174,7 +183,7 @@ FlowResult run_composition_flow(netlist::Design& design,
   sta::TimingReport timing;
   {
     runtime::StageTimer timer(stage_metrics, "sta.plan");
-    timing = run_sta(design, timing_options);
+    timing = engine.update();  // copy: planning reads it across later edits
   }
 
   {
@@ -256,19 +265,19 @@ FlowResult run_composition_flow(netlist::Design& design,
                                                 new_cells.end());
     const auto skew_result = optimize_useful_skew(
         design, timing_options, options.skew, {},
-        options.skew_only_new_mbrs ? &allowed : nullptr);
+        options.skew_only_new_mbrs ? &allowed : nullptr, &engine);
     result.skew = skew_result.skew;
     timer.add_items(skew_result.iterations_run);
   }
   if (options.size_new_mbrs) {
     runtime::StageTimer timer(stage_metrics, "size_mbrs");
-    size_new_mbrs(design, new_cells, timing_options, result.skew);
+    size_new_mbrs(design, new_cells, result.skew, engine);
     timer.add_items(static_cast<std::int64_t>(new_cells.size()));
   }
 
   {
     runtime::StageTimer timer(stage_metrics, "evaluate.after");
-    result.after = evaluate_design(design, options, result.skew);
+    result.after = evaluate_design(design, options, result.skew, &engine);
   }
   result.total_seconds = total_clock.seconds();
   result.stages = stage_metrics.snapshot();

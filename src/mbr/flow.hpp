@@ -25,6 +25,10 @@
 #include "runtime/thread_pool.hpp"
 #include "sta/useful_skew.hpp"
 
+namespace mbrc::sta {
+class TimingEngine;
+}
+
 namespace mbrc::mbr {
 
 enum class Allocator { kIlp, kHeuristic };
@@ -101,9 +105,13 @@ struct FlowResult {
 
 /// Measures a design state with the flow's substrates. `skew` is applied
 /// during STA (pass the flow's resulting skew for 'after' measurements).
+/// When `engine` is non-null (it must be bound to `design`), the timing
+/// metrics come from an incremental engine update instead of a from-scratch
+/// run; the numbers are bit-identical either way.
 Metrics evaluate_design(const netlist::Design& design,
                         const FlowOptions& options,
-                        const sta::SkewMap& skew = {});
+                        const sta::SkewMap& skew = {},
+                        sta::TimingEngine* engine = nullptr);
 
 /// Runs the full incremental composition flow, mutating `design`.
 FlowResult run_composition_flow(netlist::Design& design,

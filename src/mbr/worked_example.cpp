@@ -77,6 +77,7 @@ WorkedExample make_worked_example() {
         graph.add_edge(i, j);
     }
   }
+  graph.finalize();
   return example;
 }
 

@@ -36,6 +36,7 @@ double Cell::area() const {
 
 PinId Design::add_pin(CellId cell, PinRole role, bool is_output, int bit,
                       geom::Point offset, double cap) {
+  ++topology_version_;
   const PinId id{static_cast<std::int32_t>(pins_.size())};
   pins_.push_back({cell, NetId{}, role, is_output, bit, offset, cap});
   cells_[cell.index].pins.push_back(id);
@@ -140,6 +141,7 @@ CellId Design::add_port(std::string name, bool is_input,
 }
 
 NetId Design::create_net(bool is_clock) {
+  ++topology_version_;
   const NetId id{static_cast<std::int32_t>(nets_.size())};
   Net net;
   net.is_clock = is_clock;
@@ -148,6 +150,7 @@ NetId Design::create_net(bool is_clock) {
 }
 
 void Design::connect(PinId pin_id, NetId net_id) {
+  ++topology_version_;
   Pin& p = pins_[pin_id.index];
   MBRC_ASSERT_MSG(!p.net.valid(), "pin already connected; disconnect first");
   Net& n = nets_[net_id.index];
@@ -163,6 +166,7 @@ void Design::connect(PinId pin_id, NetId net_id) {
 void Design::disconnect(PinId pin_id) {
   Pin& p = pins_[pin_id.index];
   if (!p.net.valid()) return;
+  ++topology_version_;
   Net& n = nets_[p.net.index];
   if (p.is_output && n.driver == pin_id) {
     n.driver = PinId{};
@@ -177,6 +181,7 @@ void Design::remove_cell(CellId cell_id) {
   Cell& c = cells_[cell_id.index];
   MBRC_ASSERT_MSG(!c.dead, "cell removed twice: " + c.name);
   for (PinId pin_id : c.pins) disconnect(pin_id);
+  ++topology_version_;  // even a fully-disconnected cell leaves the graph
   c.dead = true;
 }
 
@@ -189,6 +194,7 @@ void Design::swap_register_cell(CellId cell_id,
                       c.reg->function == replacement->function &&
                       c.reg->scan_style == replacement->scan_style,
                   "swap_register_cell requires an equivalent cell");
+  touched_cells_.push_back(cell_id);  // a sizing move keeps the topology
   c.reg = replacement;
   for (PinId pin_id : c.pins) {
     Pin& p = pins_[pin_id.index];

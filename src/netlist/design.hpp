@@ -182,6 +182,25 @@ public:
   /// util::AssertionError on violation; cheap enough to call in tests.
   void check_consistency() const;
 
+  // --- edit journal -------------------------------------------------------
+  // Incremental observers (sta::TimingEngine) stay in sync with the design
+  // through two channels. Structural edits -- pins/nets created, pins
+  // (dis)connected, cells removed -- bump `topology_version`; an observer
+  // whose remembered version differs must rebuild its graph. Localized
+  // value edits that keep the topology intact -- placement moves and
+  // register sizing swaps -- append the cell to `touched_cells`; an
+  // observer keeps a cursor into the journal and repairs only the cones of
+  // the cells appended since its last sync.
+  std::uint64_t topology_version() const { return topology_version_; }
+  /// Every cell whose position or library cell changed, in edit order.
+  /// Grows for the lifetime of the design (bounded by the edit count);
+  /// observers index it with their own cursor.
+  const std::vector<CellId>& touched_cells() const { return touched_cells_; }
+  /// Records a placement move of `cell`. Anyone mutating Cell::position
+  /// directly must call this, or incremental observers go stale (the
+  /// legalizer does; run_sta-from-scratch users are unaffected).
+  void notify_moved(CellId cell) { touched_cells_.push_back(cell); }
+
 private:
   PinId add_pin(CellId cell, PinRole role, bool is_output, int bit,
                 geom::Point offset, double cap);
@@ -191,6 +210,8 @@ private:
   std::vector<Cell> cells_;
   std::vector<Pin> pins_;
   std::vector<Net> nets_;
+  std::uint64_t topology_version_ = 0;
+  std::vector<CellId> touched_cells_;
 };
 
 }  // namespace mbrc::netlist

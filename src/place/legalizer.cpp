@@ -252,6 +252,7 @@ LegalizeResult legalize_cells(netlist::Design& design, RowGrid& grid,
         result.evicted_displacement +=
             geom::manhattan(evicted.position, *spot);
         evicted.position = *spot;
+        design.notify_moved(o.cell);
         ++result.cells_evicted;
       }
     } else if (free_spot) {
@@ -270,6 +271,10 @@ LegalizeResult legalize_cells(netlist::Design& design, RowGrid& grid,
       result.total_displacement += moved;
       result.max_displacement = std::max(result.max_displacement, moved);
     }
+    // Journal any exact position change (the cells_moved epsilon above is a
+    // reporting convention; incremental observers need every bit change).
+    if (placed.x != cell.position.x || placed.y != cell.position.y)
+      design.notify_moved(id);
     cell.position = placed;
   }
   return result;

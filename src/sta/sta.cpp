@@ -1,469 +1,10 @@
 #include "sta/sta.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <cstdint>
 
-#include "runtime/thread_pool.hpp"
-#include "util/assert.hpp"
+#include "sta/timing_engine.hpp"
 
 namespace mbrc::sta {
-
-namespace {
-
-using netlist::CellId;
-using netlist::CellKind;
-using netlist::Design;
-using netlist::NetId;
-using netlist::Pin;
-using netlist::PinId;
-using netlist::PinRole;
-
-// kOhm * fF = ps; delays are kept in ns.
-constexpr double kNsPerKohmFf = 1e-3;
-
-// Pins per parallel_for task in the propagation passes: a gather is a few
-// dozen flops per pin, so batch enough of them to amortize scheduling.
-constexpr std::size_t kLevelGrain = 256;
-
-bool is_launch_role(PinRole role) {
-  return role == PinRole::kQ || role == PinRole::kScanOut;
-}
-bool is_endpoint_role(PinRole role) {
-  return role == PinRole::kD || role == PinRole::kScanIn;
-}
-
-struct Analyzer {
-  const Design& design;
-  const TimingOptions& options;
-  const SkewMap& skew;
-
-  std::vector<double> arrival;
-  std::vector<double> arrival_min;
-  std::vector<double> required;
-  std::vector<int> indegree;
-  std::vector<PinId> topo;
-
-  // Parallel-path state: the timing graph cached in CSR form (successor and
-  // transposed predecessor adjacency, edge delays computed once) plus the
-  // pins grouped by level (longest edge distance from a source). Every edge
-  // goes from a lower level to a strictly higher one, so all pins of one
-  // level can be relaxed concurrently with a pure gather.
-  std::vector<int> succ_offset;
-  std::vector<std::int32_t> succ_to;
-  std::vector<double> succ_delay;
-  std::vector<int> pred_offset;
-  std::vector<std::int32_t> pred_to;
-  std::vector<double> pred_delay;
-  std::vector<std::int32_t> by_level;
-  std::vector<std::size_t> level_begin;  // level -> first index in by_level
-
-  Analyzer(const Design& d, const TimingOptions& o, const SkewMap& s)
-      : design(d), options(o), skew(s) {}
-
-  double register_skew(CellId cell) const {
-    const auto it = skew.find(cell);
-    return it == skew.end() ? 0.0 : it->second;
-  }
-
-  // Total capacitive load a driver pin sees: connected sink pin caps plus
-  // distributed wire cap over the net's HPWL.
-  double driver_load(PinId driver) const {
-    const Pin& p = design.pin(driver);
-    if (!p.net.valid()) return 0.0;
-    double load = design.net_hpwl(p.net) * options.wire_cap_per_um;
-    for (PinId s : design.net(p.net).sinks) load += design.pin(s).cap;
-    return load;
-  }
-
-  // Elmore wire delay from driver to one sink on the same net.
-  double wire_delay(PinId driver, PinId sink) const {
-    const double len =
-        geom::manhattan(design.pin_position(driver), design.pin_position(sink));
-    const double r = options.wire_res_per_um * len;
-    const double c = options.wire_cap_per_um * len;
-    return r * (c / 2 + design.pin(sink).cap) * kNsPerKohmFf;
-  }
-
-  // Delay of the cell arc ending at output pin `out` (comb input -> output or
-  // clock buffer in -> out). Register clk->Q launch delay is handled at the
-  // launch initialization.
-  double cell_arc_delay(PinId out) const {
-    const Pin& p = design.pin(out);
-    const netlist::Cell& cell = design.cell(p.cell);
-    double intrinsic = 0.0;
-    double resistance = 0.0;
-    switch (cell.kind) {
-      case CellKind::kComb:
-        intrinsic = cell.comb->intrinsic_delay;
-        resistance = cell.comb->drive_resistance;
-        break;
-      case CellKind::kClockBuffer:
-        intrinsic = cell.buf->intrinsic_delay;
-        resistance = cell.buf->drive_resistance;
-        break;
-      default:
-        return 0.0;
-    }
-    return intrinsic + resistance * driver_load(out) * kNsPerKohmFf;
-  }
-
-  double launch_delay(PinId q_pin) const {
-    const Pin& p = design.pin(q_pin);
-    const netlist::Cell& cell = design.cell(p.cell);
-    return cell.reg->intrinsic_delay +
-           cell.reg->drive_resistance * driver_load(q_pin) * kNsPerKohmFf;
-  }
-
-  // Data-graph successors of a pin, passed to `fn(PinId succ, double delay)`.
-  template <class Fn>
-  void for_each_successor(PinId pin_id, Fn&& fn) const {
-    const Pin& p = design.pin(pin_id);
-    if (p.is_output) {
-      if (!p.net.valid() || design.net(p.net).is_clock) return;
-      for (PinId s : design.net(p.net).sinks)
-        fn(s, wire_delay(pin_id, s));
-      return;
-    }
-    // Input pin: arcs to the output pin(s) of the same cell.
-    const netlist::Cell& cell = design.cell(p.cell);
-    switch (cell.kind) {
-      case CellKind::kComb:
-        if (p.role == PinRole::kCombIn) {
-          for (PinId out : cell.pins)
-            if (design.pin(out).role == PinRole::kCombOut)
-              fn(out, cell_arc_delay(out));
-        }
-        break;
-      case CellKind::kClockBuffer:
-        if (p.role == PinRole::kBufIn) {
-          for (PinId out : cell.pins)
-            if (design.pin(out).role == PinRole::kBufOut)
-              fn(out, cell_arc_delay(out));
-        }
-        break;
-      default:
-        break;  // register inputs and ports are endpoints: no data arcs out
-    }
-  }
-
-  // Successor count of a pin without evaluating arc delays (mirrors
-  // for_each_successor's structure; used to size the CSR arrays).
-  int successor_count(PinId pin_id) const {
-    const Pin& p = design.pin(pin_id);
-    if (p.is_output) {
-      if (!p.net.valid() || design.net(p.net).is_clock) return 0;
-      return static_cast<int>(design.net(p.net).sinks.size());
-    }
-    const netlist::Cell& cell = design.cell(p.cell);
-    int count = 0;
-    switch (cell.kind) {
-      case CellKind::kComb:
-        if (p.role == PinRole::kCombIn)
-          for (PinId out : cell.pins)
-            if (design.pin(out).role == PinRole::kCombOut) ++count;
-        break;
-      case CellKind::kClockBuffer:
-        if (p.role == PinRole::kBufIn)
-          for (PinId out : cell.pins)
-            if (design.pin(out).role == PinRole::kBufOut) ++count;
-        break;
-      default:
-        break;
-    }
-    return count;
-  }
-
-  void topological_sort() {
-    const int n = design.pin_count();
-    indegree.assign(n, 0);
-    for (std::int32_t i = 0; i < n; ++i) {
-      const PinId pin{i};
-      if (design.cell(design.pin(pin).cell).dead) continue;
-      for_each_successor(pin, [&](PinId succ, double) {
-        ++indegree[succ.index];
-      });
-    }
-    topo.clear();
-    topo.reserve(n);
-    std::vector<PinId> queue;
-    for (std::int32_t i = 0; i < n; ++i)
-      if (indegree[i] == 0 && !design.cell(design.pin(PinId{i}).cell).dead)
-        queue.push_back(PinId{i});
-    std::size_t head = 0;
-    std::vector<PinId> work = std::move(queue);
-    while (head < work.size()) {
-      const PinId pin = work[head++];
-      topo.push_back(pin);
-      for_each_successor(pin, [&](PinId succ, double) {
-        if (--indegree[succ.index] == 0) work.push_back(succ);
-      });
-    }
-    int live_pins = 0;
-    for (std::int32_t i = 0; i < n; ++i)
-      if (!design.cell(design.pin(PinId{i}).cell).dead) ++live_pins;
-    MBRC_ASSERT_MSG(static_cast<int>(topo.size()) == live_pins,
-                    "combinational cycle in design");
-  }
-
-  // Builds the successor CSR (one delay evaluation per edge) and its
-  // transpose. Only live pins contribute edges, matching the serial pass.
-  void build_edges() {
-    const int n = design.pin_count();
-    succ_offset.assign(static_cast<std::size_t>(n) + 1, 0);
-    for (std::int32_t i = 0; i < n; ++i) {
-      const PinId pin{i};
-      if (design.cell(design.pin(pin).cell).dead) continue;
-      succ_offset[static_cast<std::size_t>(i) + 1] = successor_count(pin);
-    }
-    for (int i = 0; i < n; ++i) succ_offset[i + 1] += succ_offset[i];
-    const std::size_t edges = static_cast<std::size_t>(succ_offset[n]);
-    succ_to.resize(edges);
-    succ_delay.resize(edges);
-    std::vector<int> cursor(succ_offset.begin(), succ_offset.end() - 1);
-    for (std::int32_t i = 0; i < n; ++i) {
-      const PinId pin{i};
-      if (design.cell(design.pin(pin).cell).dead) continue;
-      for_each_successor(pin, [&](PinId succ, double delay) {
-        const int at = cursor[i]++;
-        succ_to[at] = succ.index;
-        succ_delay[at] = delay;
-      });
-    }
-
-    pred_offset.assign(static_cast<std::size_t>(n) + 1, 0);
-    for (std::size_t e = 0; e < edges; ++e)
-      ++pred_offset[static_cast<std::size_t>(succ_to[e]) + 1];
-    for (int i = 0; i < n; ++i) pred_offset[i + 1] += pred_offset[i];
-    pred_to.resize(edges);
-    pred_delay.resize(edges);
-    cursor.assign(pred_offset.begin(), pred_offset.end() - 1);
-    for (std::int32_t i = 0; i < n; ++i) {
-      for (int e = succ_offset[i]; e < succ_offset[i + 1]; ++e) {
-        const int at = cursor[succ_to[e]]++;
-        pred_to[at] = i;
-        pred_delay[at] = succ_delay[e];
-      }
-    }
-  }
-
-  // Kahn's algorithm over the cached CSR; produces the same `topo` order as
-  // topological_sort() plus the level grouping for the parallel passes.
-  void topo_and_levels() {
-    const int n = design.pin_count();
-    indegree.assign(n, 0);
-    for (std::int32_t i = 0; i < n; ++i)
-      indegree[i] = pred_offset[i + 1] - pred_offset[i];
-    std::vector<int> level(n, 0);
-    topo.clear();
-    topo.reserve(n);
-    std::vector<PinId> work;
-    for (std::int32_t i = 0; i < n; ++i)
-      if (indegree[i] == 0 && !design.cell(design.pin(PinId{i}).cell).dead)
-        work.push_back(PinId{i});
-    std::size_t head = 0;
-    int max_level = 0;
-    while (head < work.size()) {
-      const PinId pin = work[head++];
-      topo.push_back(pin);
-      const int next_level = level[pin.index] + 1;
-      for (int e = succ_offset[pin.index]; e < succ_offset[pin.index + 1];
-           ++e) {
-        const std::int32_t succ = succ_to[e];
-        level[succ] = std::max(level[succ], next_level);
-        max_level = std::max(max_level, level[succ]);
-        if (--indegree[succ] == 0) work.push_back(PinId{succ});
-      }
-    }
-    int live_pins = 0;
-    for (std::int32_t i = 0; i < n; ++i)
-      if (!design.cell(design.pin(PinId{i}).cell).dead) ++live_pins;
-    MBRC_ASSERT_MSG(static_cast<int>(topo.size()) == live_pins,
-                    "combinational cycle in design");
-
-    // Counting sort of `topo` by level (stable within a level).
-    std::vector<std::size_t> bucket(static_cast<std::size_t>(max_level) + 2,
-                                    0);
-    for (const PinId pin : topo) ++bucket[level[pin.index] + 1];
-    for (std::size_t l = 1; l < bucket.size(); ++l) bucket[l] += bucket[l - 1];
-    level_begin = bucket;  // bucket[l] = first slot of level l after shift
-    by_level.resize(topo.size());
-    for (const PinId pin : topo)
-      by_level[bucket[level[pin.index]]++] = pin.index;
-  }
-
-  // Launch initialization. Launch timing is single-arc here, so the min
-  // and max launch arrivals coincide.
-  void init_launch_arrivals() {
-    for (const PinId pin_id : topo) {
-      const Pin& p = design.pin(pin_id);
-      const netlist::Cell& cell = design.cell(p.cell);
-      if (cell.kind == CellKind::kRegister && is_launch_role(p.role)) {
-        arrival[pin_id.index] = register_skew(p.cell) + launch_delay(pin_id);
-        arrival_min[pin_id.index] = arrival[pin_id.index];
-      } else if (cell.kind == CellKind::kPort && p.is_output) {
-        arrival[pin_id.index] = options.input_delay;
-        arrival_min[pin_id.index] = options.input_delay;
-      }
-    }
-  }
-
-  // Endpoint required times and slacks (setup + hold), plus the hold-side
-  // requirements that seed the backward min pass. Reads the final arrival
-  // arrays; identical between the serial and parallel paths.
-  std::vector<double> collect_endpoints(TimingReport& report) {
-    for (const PinId pin_id : topo) {
-      const Pin& p = design.pin(pin_id);
-      const netlist::Cell& cell = design.cell(p.cell);
-      double req = kNoRequired;
-      double hold_req = kNoRequired;
-      if (cell.kind == CellKind::kRegister && is_endpoint_role(p.role)) {
-        if (p.net.valid()) {
-          req = options.clock_period + register_skew(p.cell) -
-                cell.reg->setup_time;
-          hold_req = register_skew(p.cell) + cell.reg->hold_time;
-        }
-      } else if (cell.kind == CellKind::kPort && !p.is_output) {
-        if (p.net.valid())
-          req = options.clock_period - options.output_margin;
-      }
-      if (req != kNoRequired) {
-        required[pin_id.index] = req;
-        if (arrival[pin_id.index] != kNoArrival) {
-          EndpointSlack ep;
-          ep.pin = pin_id;
-          ep.slack = req - arrival[pin_id.index];
-          ep.hold_slack = (hold_req != kNoRequired &&
-                           arrival_min[pin_id.index] != kNoRequired)
-                              ? arrival_min[pin_id.index] - hold_req
-                              : kNoRequired;
-          report.endpoints.push_back(ep);
-        }
-      }
-    }
-
-    // Hold-side endpoint requirements feed the backward min pass.
-    std::vector<double> req_min(design.pin_count(), kNoArrival);
-    for (const EndpointSlack& ep : report.endpoints) {
-      if (ep.hold_slack == kNoRequired) continue;
-      // Reconstruct the endpoint's hold requirement from its slack.
-      req_min[ep.pin.index] = arrival_min[ep.pin.index] - ep.hold_slack;
-    }
-    return req_min;
-  }
-
-  TimingReport run() {
-    topological_sort();
-    const int n = design.pin_count();
-    arrival.assign(n, kNoArrival);
-    arrival_min.assign(n, kNoRequired);  // +inf = unreachable for min pass
-    required.assign(n, kNoRequired);
-
-    init_launch_arrivals();
-
-    // Forward propagation: latest (setup) and earliest (hold) arrivals.
-    for (const PinId pin_id : topo) {
-      const double a = arrival[pin_id.index];
-      const double a_min = arrival_min[pin_id.index];
-      for_each_successor(pin_id, [&](PinId succ, double delay) {
-        if (a != kNoArrival)
-          arrival[succ.index] = std::max(arrival[succ.index], a + delay);
-        if (a_min != kNoRequired)
-          arrival_min[succ.index] =
-              std::min(arrival_min[succ.index], a_min + delay);
-      });
-    }
-
-    TimingReport report;
-    std::vector<double> req_min = collect_endpoints(report);
-
-    // Backward propagation of required times (setup: min; hold: max).
-    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-      const PinId pin_id = *it;
-      for_each_successor(pin_id, [&](PinId succ, double delay) {
-        if (required[succ.index] != kNoRequired)
-          required[pin_id.index] =
-              std::min(required[pin_id.index], required[succ.index] - delay);
-        if (req_min[succ.index] != kNoArrival)
-          req_min[pin_id.index] =
-              std::max(req_min[pin_id.index], req_min[succ.index] - delay);
-      });
-    }
-    report.required_min = std::move(req_min);
-
-    report.arrival = std::move(arrival);
-    report.arrival_min = std::move(arrival_min);
-    report.required = std::move(required);
-    return report;
-  }
-
-  // Parallel path: identical results to run() at any thread count. The
-  // scatter loops become per-level gathers -- each pin's value is a max/min
-  // over the same operand set the serial pass folds in, and floating-point
-  // max/min are order-independent, so the arrays match bit for bit.
-  TimingReport run_parallel(runtime::ThreadPool& pool, int jobs) {
-    build_edges();
-    topo_and_levels();
-    const int n = design.pin_count();
-    arrival.assign(n, kNoArrival);
-    arrival_min.assign(n, kNoRequired);
-    required.assign(n, kNoRequired);
-
-    init_launch_arrivals();
-
-    const std::size_t levels = level_begin.empty() ? 0 : level_begin.size() - 1;
-    for (std::size_t l = 0; l < levels; ++l) {
-      const std::size_t lo = level_begin[l];
-      const std::size_t hi = level_begin[l + 1];
-      runtime::parallel_for(&pool, jobs, hi - lo, kLevelGrain,
-                            [&](std::size_t k) {
-        const std::int32_t pin = by_level[lo + k];
-        double a = arrival[pin];
-        double a_min = arrival_min[pin];
-        for (int e = pred_offset[pin]; e < pred_offset[pin + 1]; ++e) {
-          const double pa = arrival[pred_to[e]];
-          if (pa != kNoArrival) a = std::max(a, pa + pred_delay[e]);
-          const double pa_min = arrival_min[pred_to[e]];
-          if (pa_min != kNoRequired)
-            a_min = std::min(a_min, pa_min + pred_delay[e]);
-        }
-        arrival[pin] = a;
-        arrival_min[pin] = a_min;
-      });
-    }
-
-    TimingReport report;
-    std::vector<double> req_min = collect_endpoints(report);
-
-    for (std::size_t l = levels; l-- > 0;) {
-      const std::size_t lo = level_begin[l];
-      const std::size_t hi = level_begin[l + 1];
-      runtime::parallel_for(&pool, jobs, hi - lo, kLevelGrain,
-                            [&](std::size_t k) {
-        const std::int32_t pin = by_level[lo + k];
-        double r = required[pin];
-        double r_min = req_min[pin];
-        for (int e = succ_offset[pin]; e < succ_offset[pin + 1]; ++e) {
-          const std::int32_t succ = succ_to[e];
-          if (required[succ] != kNoRequired)
-            r = std::min(r, required[succ] - succ_delay[e]);
-          if (req_min[succ] != kNoArrival)
-            r_min = std::max(r_min, req_min[succ] - succ_delay[e]);
-        }
-        required[pin] = r;
-        req_min[pin] = r_min;
-      });
-    }
-    report.required_min = std::move(req_min);
-
-    report.arrival = std::move(arrival);
-    report.arrival_min = std::move(arrival_min);
-    report.required = std::move(required);
-    return report;
-  }
-};
-
-}  // namespace
 
 double TimingReport::wns() const {
   double w = 0.0;
@@ -553,12 +94,15 @@ double TimingReport::register_q_slack(const netlist::Design& design,
   return worst;
 }
 
+// One-shot oracle: a throwaway TimingEngine doing one full build + one
+// propagation. Persistent callers hold a TimingEngine instead and get
+// dirty-cone repair; the results are bit-identical either way (the engine
+// computes every value as a max/min gather over the same operand sets at
+// any jobs count -- see timing_engine.hpp).
 TimingReport run_sta(const netlist::Design& design,
                      const TimingOptions& options, const SkewMap& skew) {
-  Analyzer analyzer(design, options, skew);
-  if (options.jobs > 1)
-    return analyzer.run_parallel(runtime::ThreadPool::global(), options.jobs);
-  return analyzer.run();
+  TimingEngine engine(design, options);
+  return engine.update(skew);
 }
 
 }  // namespace mbrc::sta

@@ -1,0 +1,591 @@
+#include "sta/timing_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/thread_pool.hpp"
+#include "util/assert.hpp"
+
+namespace mbrc::sta {
+
+namespace {
+
+using netlist::CellId;
+using netlist::CellKind;
+using netlist::NetId;
+using netlist::Pin;
+using netlist::PinId;
+using netlist::PinRole;
+
+// kOhm * fF = ps; delays are kept in ns.
+constexpr double kNsPerKohmFf = 1e-3;
+
+// Pins per parallel_for task in the full-build propagation passes. The
+// incremental repair runs serially: dirty cones are small by construction,
+// and a serial gather keeps the worklist bookkeeping trivial.
+constexpr std::size_t kLevelGrain = 256;
+
+bool is_launch_role(PinRole role) {
+  return role == PinRole::kQ || role == PinRole::kScanOut;
+}
+bool is_endpoint_role(PinRole role) {
+  return role == PinRole::kD || role == PinRole::kScanIn;
+}
+
+}  // namespace
+
+TimingEngine::TimingEngine(const netlist::Design& design,
+                           const TimingOptions& options)
+    : design_(design), options_(options) {}
+
+double TimingEngine::register_skew(CellId cell) const {
+  const auto it = current_skew_.find(cell);
+  return it == current_skew_.end() ? 0.0 : it->second;
+}
+
+double TimingEngine::driver_load(PinId driver) const {
+  const Pin& p = design_.pin(driver);
+  if (!p.net.valid()) return 0.0;
+  double load = design_.net_hpwl(p.net) * options_.wire_cap_per_um;
+  for (PinId s : design_.net(p.net).sinks) load += design_.pin(s).cap;
+  return load;
+}
+
+double TimingEngine::wire_delay(PinId driver, PinId sink) const {
+  const double len = geom::manhattan(design_.pin_position(driver),
+                                     design_.pin_position(sink));
+  const double r = options_.wire_res_per_um * len;
+  const double c = options_.wire_cap_per_um * len;
+  return r * (c / 2 + design_.pin(sink).cap) * kNsPerKohmFf;
+}
+
+double TimingEngine::cell_arc_delay(PinId out) const {
+  const Pin& p = design_.pin(out);
+  const netlist::Cell& cell = design_.cell(p.cell);
+  double intrinsic = 0.0;
+  double resistance = 0.0;
+  switch (cell.kind) {
+    case CellKind::kComb:
+      intrinsic = cell.comb->intrinsic_delay;
+      resistance = cell.comb->drive_resistance;
+      break;
+    case CellKind::kClockBuffer:
+      intrinsic = cell.buf->intrinsic_delay;
+      resistance = cell.buf->drive_resistance;
+      break;
+    default:
+      return 0.0;
+  }
+  return intrinsic + resistance * driver_load(out) * kNsPerKohmFf;
+}
+
+double TimingEngine::launch_delay(PinId q_pin) const {
+  const Pin& p = design_.pin(q_pin);
+  const netlist::Cell& cell = design_.cell(p.cell);
+  return cell.reg->intrinsic_delay +
+         cell.reg->drive_resistance * driver_load(q_pin) * kNsPerKohmFf;
+}
+
+// Builds the successor CSR (one delay evaluation per edge), its transpose,
+// and the cross-links between the two views. Only live pins contribute
+// edges. Edge enumeration mirrors run_sta's for_each_successor: an output
+// pin's successors are its net's sinks (wire arcs, skipping clock nets); a
+// comb/buffer input's successors are its cell's outputs (cell arcs).
+void TimingEngine::build_edges() {
+  const int n = design_.pin_count();
+
+  const auto for_each_successor = [&](PinId pin_id, auto&& fn) {
+    const Pin& p = design_.pin(pin_id);
+    if (p.is_output) {
+      if (!p.net.valid() || design_.net(p.net).is_clock) return;
+      for (PinId s : design_.net(p.net).sinks) fn(s, wire_delay(pin_id, s));
+      return;
+    }
+    const netlist::Cell& cell = design_.cell(p.cell);
+    switch (cell.kind) {
+      case CellKind::kComb:
+        if (p.role == PinRole::kCombIn) {
+          for (PinId out : cell.pins)
+            if (design_.pin(out).role == PinRole::kCombOut)
+              fn(out, cell_arc_delay(out));
+        }
+        break;
+      case CellKind::kClockBuffer:
+        if (p.role == PinRole::kBufIn) {
+          for (PinId out : cell.pins)
+            if (design_.pin(out).role == PinRole::kBufOut)
+              fn(out, cell_arc_delay(out));
+        }
+        break;
+      default:
+        break;  // register inputs and ports are endpoints: no data arcs out
+    }
+  };
+
+  succ_offset_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    const PinId pin{i};
+    if (design_.cell(design_.pin(pin).cell).dead) continue;
+    int count = 0;
+    for_each_successor(pin, [&](PinId, double) { ++count; });
+    succ_offset_[static_cast<std::size_t>(i) + 1] = count;
+  }
+  for (int i = 0; i < n; ++i) succ_offset_[i + 1] += succ_offset_[i];
+  const std::size_t edges = static_cast<std::size_t>(succ_offset_[n]);
+  succ_to_.resize(edges);
+  succ_delay_.resize(edges);
+  succ_pred_index_.resize(edges);
+  std::vector<int> cursor(succ_offset_.begin(), succ_offset_.end() - 1);
+  for (std::int32_t i = 0; i < n; ++i) {
+    const PinId pin{i};
+    if (design_.cell(design_.pin(pin).cell).dead) continue;
+    for_each_successor(pin, [&](PinId succ, double delay) {
+      const int at = cursor[i]++;
+      succ_to_[at] = succ.index;
+      succ_delay_[at] = delay;
+    });
+  }
+
+  pred_offset_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (std::size_t e = 0; e < edges; ++e)
+    ++pred_offset_[static_cast<std::size_t>(succ_to_[e]) + 1];
+  for (int i = 0; i < n; ++i) pred_offset_[i + 1] += pred_offset_[i];
+  pred_to_.resize(edges);
+  pred_delay_.resize(edges);
+  pred_succ_index_.resize(edges);
+  cursor.assign(pred_offset_.begin(), pred_offset_.end() - 1);
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (int e = succ_offset_[i]; e < succ_offset_[i + 1]; ++e) {
+      const int at = cursor[succ_to_[e]]++;
+      pred_to_[at] = i;
+      pred_delay_[at] = succ_delay_[e];
+      pred_succ_index_[at] = e;
+      succ_pred_index_[e] = at;
+    }
+  }
+}
+
+// Kahn's algorithm over the cached CSR: topo order plus levels (longest
+// edge distance from a source). Every edge goes from a lower level to a
+// strictly higher one, so one level's pins can be gathered independently
+// and a dirty pin's repair can only dirty higher (forward) or lower
+// (backward) levels.
+void TimingEngine::topo_and_levels() {
+  const int n = design_.pin_count();
+  std::vector<int> indegree(n, 0);
+  for (std::int32_t i = 0; i < n; ++i)
+    indegree[i] = pred_offset_[i + 1] - pred_offset_[i];
+  level_of_.assign(n, 0);
+  topo_.clear();
+  topo_.reserve(n);
+  std::vector<PinId> work;
+  for (std::int32_t i = 0; i < n; ++i)
+    if (indegree[i] == 0 && !design_.cell(design_.pin(PinId{i}).cell).dead)
+      work.push_back(PinId{i});
+  std::size_t head = 0;
+  std::int32_t max_level = 0;
+  while (head < work.size()) {
+    const PinId pin = work[head++];
+    topo_.push_back(pin);
+    const std::int32_t next_level = level_of_[pin.index] + 1;
+    for (int e = succ_offset_[pin.index]; e < succ_offset_[pin.index + 1];
+         ++e) {
+      const std::int32_t succ = succ_to_[e];
+      level_of_[succ] = std::max(level_of_[succ], next_level);
+      max_level = std::max(max_level, level_of_[succ]);
+      if (--indegree[succ] == 0) work.push_back(PinId{succ});
+    }
+  }
+  int live_pins = 0;
+  for (std::int32_t i = 0; i < n; ++i)
+    if (!design_.cell(design_.pin(PinId{i}).cell).dead) ++live_pins;
+  MBRC_ASSERT_MSG(static_cast<int>(topo_.size()) == live_pins,
+                  "combinational cycle in design");
+
+  // Counting sort of `topo_` by level (stable within a level).
+  std::vector<std::size_t> bucket(static_cast<std::size_t>(max_level) + 2, 0);
+  for (const PinId pin : topo_) ++bucket[level_of_[pin.index] + 1];
+  for (std::size_t l = 1; l < bucket.size(); ++l) bucket[l] += bucket[l - 1];
+  level_begin_ = bucket;
+  by_level_.resize(topo_.size());
+  for (const PinId pin : topo_)
+    by_level_[bucket[level_of_[pin.index]]++] = pin.index;
+}
+
+// Seeds, level sweeps and endpoint collection: the values are exactly
+// run_sta's (max/min gathers over identical operand sets).
+void TimingEngine::seed_and_propagate() {
+  const int n = design_.pin_count();
+  runtime::ThreadPool* pool =
+      options_.jobs > 1 ? &runtime::ThreadPool::global() : nullptr;
+
+  auto& arrival = report_.arrival;
+  auto& arrival_min = report_.arrival_min;
+  auto& required = report_.required;
+  auto& req_min = report_.required_min;
+  arrival.assign(n, kNoArrival);
+  arrival_min.assign(n, kNoRequired);
+  required.assign(n, kNoRequired);
+  req_min.assign(n, kNoArrival);
+  report_.endpoints.clear();
+
+  // Launch/input seeds (single-arc launch timing: min and max coincide).
+  seed_arrival_.assign(n, kNoArrival);
+  for (const PinId pin_id : topo_) {
+    const Pin& p = design_.pin(pin_id);
+    const netlist::Cell& cell = design_.cell(p.cell);
+    if (cell.kind == CellKind::kRegister && is_launch_role(p.role)) {
+      seed_arrival_[pin_id.index] =
+          register_skew(p.cell) + launch_delay(pin_id);
+    } else if (cell.kind == CellKind::kPort && p.is_output) {
+      seed_arrival_[pin_id.index] = options_.input_delay;
+    }
+    if (seed_arrival_[pin_id.index] != kNoArrival) {
+      arrival[pin_id.index] = seed_arrival_[pin_id.index];
+      arrival_min[pin_id.index] = seed_arrival_[pin_id.index];
+    }
+  }
+
+  // Forward propagation: per-level gathers, parallel when jobs > 1.
+  const std::size_t levels = level_begin_.empty() ? 0 : level_begin_.size() - 1;
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::size_t lo = level_begin_[l];
+    const std::size_t hi = level_begin_[l + 1];
+    runtime::parallel_for(pool, options_.jobs, hi - lo, kLevelGrain,
+                          [&](std::size_t k) {
+      const std::int32_t pin = by_level_[lo + k];
+      double a = arrival[pin];
+      double a_min = arrival_min[pin];
+      for (int e = pred_offset_[pin]; e < pred_offset_[pin + 1]; ++e) {
+        const double pa = arrival[pred_to_[e]];
+        if (pa != kNoArrival) a = std::max(a, pa + pred_delay_[e]);
+        const double pa_min = arrival_min[pred_to_[e]];
+        if (pa_min != kNoRequired)
+          a_min = std::min(a_min, pa_min + pred_delay_[e]);
+      }
+      arrival[pin] = a;
+      arrival_min[pin] = a_min;
+    });
+  }
+
+  // Endpoint seeds, required times and the endpoint report (topo order,
+  // matching run_sta's historical iteration order).
+  seed_required_.assign(n, kNoRequired);
+  seed_required_min_.assign(n, kNoArrival);
+  endpoint_slot_.assign(n, -1);
+  for (const PinId pin_id : topo_) {
+    const Pin& p = design_.pin(pin_id);
+    const netlist::Cell& cell = design_.cell(p.cell);
+    double req = kNoRequired;
+    double hold_req = kNoRequired;
+    if (cell.kind == CellKind::kRegister && is_endpoint_role(p.role)) {
+      if (p.net.valid()) {
+        req = options_.clock_period + register_skew(p.cell) -
+              cell.reg->setup_time;
+        hold_req = register_skew(p.cell) + cell.reg->hold_time;
+      }
+    } else if (cell.kind == CellKind::kPort && !p.is_output) {
+      if (p.net.valid())
+        req = options_.clock_period - options_.output_margin;
+    }
+    if (req == kNoRequired) continue;
+    seed_required_[pin_id.index] = req;
+    required[pin_id.index] = req;
+    if (arrival[pin_id.index] == kNoArrival) continue;
+    EndpointSlack ep;
+    ep.pin = pin_id;
+    ep.slack = req - arrival[pin_id.index];
+    if (hold_req != kNoRequired &&
+        arrival_min[pin_id.index] != kNoRequired) {
+      seed_required_min_[pin_id.index] = hold_req;
+      req_min[pin_id.index] = hold_req;
+      ep.hold_slack = arrival_min[pin_id.index] - hold_req;
+    } else {
+      ep.hold_slack = kNoRequired;
+    }
+    endpoint_slot_[pin_id.index] =
+        static_cast<std::int32_t>(report_.endpoints.size());
+    report_.endpoints.push_back(ep);
+  }
+
+  // Backward propagation of required times (setup: min; hold: max).
+  for (std::size_t l = levels; l-- > 0;) {
+    const std::size_t lo = level_begin_[l];
+    const std::size_t hi = level_begin_[l + 1];
+    runtime::parallel_for(pool, options_.jobs, hi - lo, kLevelGrain,
+                          [&](std::size_t k) {
+      const std::int32_t pin = by_level_[lo + k];
+      double r = required[pin];
+      double r_min = req_min[pin];
+      for (int e = succ_offset_[pin]; e < succ_offset_[pin + 1]; ++e) {
+        const std::int32_t succ = succ_to_[e];
+        if (required[succ] != kNoRequired)
+          r = std::min(r, required[succ] - succ_delay_[e]);
+        if (req_min[succ] != kNoArrival)
+          r_min = std::max(r_min, req_min[succ] - succ_delay_[e]);
+      }
+      required[pin] = r;
+      req_min[pin] = r_min;
+    });
+  }
+}
+
+void TimingEngine::full_build() {
+  build_edges();
+  topo_and_levels();
+  seed_and_propagate();
+
+  const std::size_t n = static_cast<std::size_t>(design_.pin_count());
+  fwd_stamp_.assign(n, 0);
+  bwd_stamp_.assign(n, 0);
+  ep_stamp_.assign(n, 0);
+  net_stamp_.assign(static_cast<std::size_t>(design_.net_count()), 0);
+  const std::size_t levels = level_begin_.empty() ? 0 : level_begin_.size() - 1;
+  fwd_bucket_.assign(levels, {});
+  bwd_bucket_.assign(levels, {});
+  epoch_ = 0;
+}
+
+const TimingReport& TimingEngine::update(const SkewMap& skew) {
+  if (!built_ || design_.topology_version() != seen_topology_) {
+    current_skew_ = skew;
+    full_build();
+    built_ = true;
+    seen_topology_ = design_.topology_version();
+    journal_cursor_ = design_.touched_cells().size();
+    ++stats_.full_builds;
+    stats_.last_repaired_pins = 0;
+    return report_;
+  }
+
+  begin_epoch();
+  apply_skew_diff(skew);
+  const auto& journal = design_.touched_cells();
+  for (std::size_t i = journal_cursor_; i < journal.size(); ++i)
+    touch_cell(journal[i]);
+  journal_cursor_ = journal.size();
+  repair_forward();
+  refresh_endpoints();
+  repair_backward();
+  ++stats_.incremental_updates;
+  return report_;
+}
+
+void TimingEngine::begin_epoch() {
+  ++epoch_;
+  fwd_lo_ = static_cast<std::int32_t>(fwd_bucket_.size());
+  fwd_hi_ = -1;
+  bwd_lo_ = static_cast<std::int32_t>(bwd_bucket_.size());
+  bwd_hi_ = -1;
+  ep_marks_.clear();
+  stats_.last_repaired_pins = 0;
+}
+
+void TimingEngine::mark_forward(std::int32_t pin) {
+  if (fwd_stamp_[pin] == epoch_) return;
+  fwd_stamp_[pin] = epoch_;
+  const std::int32_t level = level_of_[pin];
+  fwd_bucket_[level].push_back(pin);
+  fwd_lo_ = std::min(fwd_lo_, level);
+  fwd_hi_ = std::max(fwd_hi_, level);
+}
+
+void TimingEngine::mark_backward(std::int32_t pin) {
+  if (bwd_stamp_[pin] == epoch_) return;
+  bwd_stamp_[pin] = epoch_;
+  const std::int32_t level = level_of_[pin];
+  bwd_bucket_[level].push_back(pin);
+  bwd_lo_ = std::min(bwd_lo_, level);
+  bwd_hi_ = std::max(bwd_hi_, level);
+}
+
+void TimingEngine::mark_endpoint(std::int32_t pin) {
+  if (ep_stamp_[pin] == epoch_) return;
+  ep_stamp_[pin] = epoch_;
+  ep_marks_.push_back(pin);
+}
+
+// Refreshes the seeds that depend on a register's own parameters: launch
+// arrivals on the Q side (skew, intrinsic/drive, load) and endpoint
+// requirements on the D side (skew, setup/hold). Reachability cannot change
+// without a topology edit, so the endpoint *set* is stable here.
+void TimingEngine::refresh_register_seeds(CellId reg) {
+  const netlist::Cell& cell = design_.cell(reg);
+  for (const PinId pin_id : cell.pins) {
+    const Pin& p = design_.pin(pin_id);
+    const std::int32_t i = pin_id.index;
+    if (is_launch_role(p.role)) {
+      const double seed = register_skew(reg) + launch_delay(pin_id);
+      if (seed != seed_arrival_[i]) {
+        seed_arrival_[i] = seed;
+        mark_forward(i);
+      }
+    } else if (is_endpoint_role(p.role) && p.net.valid()) {
+      const double req =
+          options_.clock_period + register_skew(reg) - cell.reg->setup_time;
+      const double hold_req = register_skew(reg) + cell.reg->hold_time;
+      // The hold seed exists only for endpoints in the report (reachable
+      // pins); endpoint_slot_ encodes exactly that.
+      const double hold_seed =
+          endpoint_slot_[i] >= 0 ? hold_req : kNoArrival;
+      if (req != seed_required_[i] || hold_seed != seed_required_min_[i]) {
+        seed_required_[i] = req;
+        seed_required_min_[i] = hold_seed;
+        mark_backward(i);
+        if (endpoint_slot_[i] >= 0) mark_endpoint(i);
+      }
+    }
+  }
+}
+
+// Re-evaluates every cached edge delay that depends on `net`: the cell arcs
+// into its driver (the driver's load changed) and the wire arcs from the
+// driver to each sink (an end moved). Changed delays dirty the edge head
+// (forward) and tail (backward).
+void TimingEngine::touch_net(NetId net_id) {
+  if (net_stamp_[net_id.index] == epoch_) return;
+  net_stamp_[net_id.index] = epoch_;
+  const netlist::Net& net = design_.net(net_id);
+  if (!net.driver.valid()) return;
+  const std::int32_t d = net.driver.index;
+
+  // Cell arcs into the driver first: its load includes this net even when
+  // the net is a clock net (a clock buffer's in->out arc reads the clock
+  // net's HPWL and sink caps, even though clock nets carry no wire arcs).
+  if (pred_offset_[d + 1] > pred_offset_[d]) {
+    const double arc = cell_arc_delay(net.driver);
+    for (int e = pred_offset_[d]; e < pred_offset_[d + 1]; ++e) {
+      if (pred_delay_[e] == arc) continue;
+      pred_delay_[e] = arc;
+      succ_delay_[pred_succ_index_[e]] = arc;
+      mark_forward(d);
+      mark_backward(pred_to_[e]);
+    }
+  }
+
+  const Pin& dp = design_.pin(net.driver);
+  const netlist::Cell& dc = design_.cell(dp.cell);
+  if (dc.kind == CellKind::kRegister && is_launch_role(dp.role)) {
+    const double seed = register_skew(dp.cell) + launch_delay(net.driver);
+    if (seed != seed_arrival_[d]) {
+      seed_arrival_[d] = seed;
+      mark_forward(d);
+    }
+  }
+
+  if (net.is_clock) return;  // clock nets carry no wire arcs
+
+  for (int e = succ_offset_[d]; e < succ_offset_[d + 1]; ++e) {
+    const PinId sink{succ_to_[e]};
+    const double w = wire_delay(net.driver, sink);
+    if (succ_delay_[e] == w) continue;
+    succ_delay_[e] = w;
+    pred_delay_[succ_pred_index_[e]] = w;
+    mark_forward(sink.index);
+    mark_backward(d);
+  }
+}
+
+void TimingEngine::touch_cell(CellId cell_id) {
+  const netlist::Cell& cell = design_.cell(cell_id);
+  if (cell.dead) return;  // removal bumps the topology version anyway
+  for (const PinId pin_id : cell.pins) {
+    const Pin& p = design_.pin(pin_id);
+    if (p.net.valid()) touch_net(p.net);
+  }
+  if (cell.kind == CellKind::kRegister) refresh_register_seeds(cell_id);
+}
+
+void TimingEngine::apply_skew_diff(const SkewMap& skew) {
+  std::vector<CellId> changed;
+  for (const auto& [cell, value] : skew) {
+    const auto it = current_skew_.find(cell);
+    if ((it == current_skew_.end() ? 0.0 : it->second) != value)
+      changed.push_back(cell);
+  }
+  for (const auto& [cell, value] : current_skew_) {
+    if (value != 0.0 && !skew.contains(cell)) changed.push_back(cell);
+  }
+  if (changed.empty()) return;
+  current_skew_ = skew;
+  for (const CellId cell : changed) {
+    const netlist::Cell& c = design_.cell(cell);
+    if (c.dead || c.kind != CellKind::kRegister) continue;
+    refresh_register_seeds(cell);
+  }
+}
+
+// Worklist repair of the max/min arrivals, ascending over the cached
+// levels. A pin's new value is a gather over the same operand set the full
+// sweep folds, so the result is bit-identical; when it equals the cached
+// value the cone is not expanded further (early termination).
+void TimingEngine::repair_forward() {
+  auto& arrival = report_.arrival;
+  auto& arrival_min = report_.arrival_min;
+  for (std::int32_t level = fwd_lo_; level <= fwd_hi_; ++level) {
+    auto& bucket = fwd_bucket_[level];
+    for (std::size_t k = 0; k < bucket.size(); ++k) {
+      const std::int32_t pin = bucket[k];
+      double a = seed_arrival_[pin];
+      double a_min = a == kNoArrival ? kNoRequired : a;
+      for (int e = pred_offset_[pin]; e < pred_offset_[pin + 1]; ++e) {
+        const double pa = arrival[pred_to_[e]];
+        if (pa != kNoArrival) a = std::max(a, pa + pred_delay_[e]);
+        const double pa_min = arrival_min[pred_to_[e]];
+        if (pa_min != kNoRequired)
+          a_min = std::min(a_min, pa_min + pred_delay_[e]);
+      }
+      ++stats_.last_repaired_pins;
+      if (a == arrival[pin] && a_min == arrival_min[pin]) continue;
+      arrival[pin] = a;
+      arrival_min[pin] = a_min;
+      if (endpoint_slot_[pin] >= 0) mark_endpoint(pin);
+      for (int e = succ_offset_[pin]; e < succ_offset_[pin + 1]; ++e)
+        mark_forward(succ_to_[e]);  // strictly higher levels only
+    }
+    bucket.clear();
+  }
+}
+
+// Mirror image of repair_forward: required times, descending levels,
+// gathering over successors.
+void TimingEngine::repair_backward() {
+  auto& required = report_.required;
+  auto& req_min = report_.required_min;
+  for (std::int32_t level = bwd_hi_; level >= bwd_lo_; --level) {
+    auto& bucket = bwd_bucket_[level];
+    for (std::size_t k = 0; k < bucket.size(); ++k) {
+      const std::int32_t pin = bucket[k];
+      double r = seed_required_[pin];
+      double r_min = seed_required_min_[pin];
+      for (int e = succ_offset_[pin]; e < succ_offset_[pin + 1]; ++e) {
+        const std::int32_t succ = succ_to_[e];
+        if (required[succ] != kNoRequired)
+          r = std::min(r, required[succ] - succ_delay_[e]);
+        if (req_min[succ] != kNoArrival)
+          r_min = std::max(r_min, req_min[succ] - succ_delay_[e]);
+      }
+      ++stats_.last_repaired_pins;
+      if (r == required[pin] && r_min == req_min[pin]) continue;
+      required[pin] = r;
+      req_min[pin] = r_min;
+      for (int e = pred_offset_[pin]; e < pred_offset_[pin + 1]; ++e)
+        mark_backward(pred_to_[e]);  // strictly lower levels only
+    }
+    bucket.clear();
+  }
+}
+
+void TimingEngine::refresh_endpoints() {
+  const auto& arrival = report_.arrival;
+  const auto& arrival_min = report_.arrival_min;
+  for (const std::int32_t pin : ep_marks_) {
+    EndpointSlack& ep = report_.endpoints[endpoint_slot_[pin]];
+    ep.slack = seed_required_[pin] - arrival[pin];
+    ep.hold_slack = seed_required_min_[pin] == kNoArrival
+                        ? kNoRequired
+                        : arrival_min[pin] - seed_required_min_[pin];
+  }
+}
+
+}  // namespace mbrc::sta

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+
+#include "sta/timing_engine.hpp"
+#include "util/assert.hpp"
 
 namespace mbrc::sta {
 
@@ -36,31 +40,42 @@ double desired_step(double d_slack, double q_slack) {
 UsefulSkewResult optimize_useful_skew(
     const netlist::Design& design, const TimingOptions& timing,
     const UsefulSkewOptions& options, const SkewMap& initial,
-    const std::unordered_set<netlist::CellId>* allowed) {
+    const std::unordered_set<netlist::CellId>* allowed,
+    TimingEngine* engine) {
   UsefulSkewResult result;
   result.skew = initial;
 
+  // The iteration's STA is one full build followed by per-pass dirty-cone
+  // repairs: only the cones of registers whose skew moved are recomputed.
+  std::optional<TimingEngine> local;
+  if (engine == nullptr) {
+    local.emplace(design, timing);
+    engine = &*local;
+  }
+  MBRC_ASSERT_MSG(&engine->design() == &design,
+                  "useful skew engine bound to a different design");
+
   const auto registers = design.registers();
-  TimingReport report = run_sta(design, timing, result.skew);
+  const TimingReport* report = &engine->update(result.skew);
 
   for (int iter = 0; iter < options.iterations; ++iter) {
     bool changed = false;
     for (netlist::CellId reg : registers) {
       if (allowed && !allowed->contains(reg)) continue;
-      const double d_slack = report.register_d_slack(design, reg);
-      const double q_slack = report.register_q_slack(design, reg);
+      const double d_slack = report->register_d_slack(design, reg);
+      const double q_slack = report->register_q_slack(design, reg);
       double step = options.damping * desired_step(d_slack, q_slack);
       // Hold awareness: shifting the clock later raises this register's own
       // hold requirement (clamp by its D-side hold slack); shifting it
       // earlier launches min-paths earlier into the downstream captures
       // (clamp by the Q-side hold slack). Never *create* hold violations.
       if (step > 0) {
-        const double d_hold = report.register_d_hold_slack(design, reg);
+        const double d_hold = report->register_d_hold_slack(design, reg);
         if (d_hold != kNoRequired)
           step = std::min(
               step, std::max(0.0, (d_hold - options.hold_margin) / 2));
       } else if (step < 0) {
-        const double q_hold = report.register_q_hold_slack(design, reg);
+        const double q_hold = report->register_q_hold_slack(design, reg);
         if (q_hold != kNoRequired)
           step = std::max(
               step, -std::max(0.0, (q_hold - options.hold_margin) / 2));
@@ -77,10 +92,10 @@ UsefulSkewResult optimize_useful_skew(
     }
     ++result.iterations_run;
     if (!changed) break;
-    report = run_sta(design, timing, result.skew);
+    report = &engine->update(result.skew);
   }
 
-  result.report = std::move(report);
+  result.report = *report;
   return result;
 }
 

@@ -19,6 +19,8 @@
 
 namespace mbrc::sta {
 
+class TimingEngine;
+
 struct UsefulSkewOptions {
   int iterations = 8;
   double max_abs_skew = 0.25;  // ns, |skew| bound per register
@@ -39,9 +41,17 @@ struct UsefulSkewResult {
 /// Optimizes per-register skews starting from `initial`. When `allowed` is
 /// non-null, only those registers may receive a (new) skew; others keep
 /// their initial value.
+///
+/// The per-iteration STA runs through `engine` when one is supplied (it
+/// must be bound to `design`); each pass then costs only a dirty-cone
+/// repair of the registers whose skew moved, and the engine stays warm for
+/// the caller's next query. Without an engine a private one is used, so the
+/// loop is still one full build + N incremental repairs. Results are
+/// bit-identical either way.
 UsefulSkewResult optimize_useful_skew(
     const netlist::Design& design, const TimingOptions& timing,
     const UsefulSkewOptions& options, const SkewMap& initial = {},
-    const std::unordered_set<netlist::CellId>* allowed = nullptr);
+    const std::unordered_set<netlist::CellId>* allowed = nullptr,
+    TimingEngine* engine = nullptr);
 
 }  // namespace mbrc::sta

@@ -15,6 +15,7 @@ CompatibilityGraph graph_with(int nodes,
   CompatibilityGraph g;
   for (int i = 0; i < nodes; ++i) g.add_node(example.graph.node(0));
   for (auto [u, v] : edges) g.add_edge(u, v);
+  g.finalize();
   return g;
 }
 
@@ -93,6 +94,7 @@ TEST(BronKerbosch, RandomGraphProperties) {
     for (int i = 0; i < n; ++i)
       for (int j = i + 1; j < n; ++j)
         if (rng.chance(0.35)) g.add_edge(i, j);
+    g.finalize();
 
     const auto cliques = maximal_cliques(g, all_nodes(g));
     for (const auto& clique : cliques) {
@@ -154,6 +156,7 @@ protected:
     }
     for (int i = 0; i < 64; ++i)
       for (int j = i + 1; j < 64; ++j) graph.add_edge(i, j);
+    graph.finalize();
   }
 
   lib::Library library;

@@ -138,6 +138,7 @@ TEST(CompatibilityGraph, ConnectedComponents) {
   for (int i = 0; i < 5; ++i) g.add_node(example.graph.node(0));
   g.add_edge(0, 1);
   g.add_edge(3, 4);
+  g.finalize();
   const auto parts = g.connected_components();
   ASSERT_EQ(parts.size(), 3u);  // {0,1}, {2}, {3,4}
   EXPECT_EQ(parts[0], (std::vector<int>{0, 1}));
@@ -153,6 +154,7 @@ TEST(CompatibilityGraph, DuplicateEdgesCollapse) {
   g.add_edge(0, 1);
   g.add_edge(1, 0);
   g.add_edge(0, 1);
+  g.finalize();
   EXPECT_EQ(g.edge_count(), 1);
   EXPECT_EQ(g.neighbors(0).size(), 1u);
 }
