@@ -47,6 +47,10 @@ int main(int argc, char** argv) {
 
   mbr::FlowOptions options;
   options.timing.clock_period = generated.calibrated_clock_period;
+  // Paranoid flow-integrity checking: validate every stage boundary and
+  // cross-check the incremental timing engine against a fresh STA rebuild.
+  // Costs a few full STA runs -- fine for a demo, leave kOff in production.
+  options.check_level = check::CheckLevel::kParanoid;
   std::cout << "Calibrated clock period: "
             << generated.calibrated_clock_period << " ns\n\n";
 

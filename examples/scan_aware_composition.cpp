@@ -78,9 +78,9 @@ int main() {
   add_flop("s0", {20, 9}, 0, /*section=*/0, /*order=*/0);
   add_flop("s1", {26, 9}, 0, 0, 1);
   add_flop("s2", {32, 9}, 0, 0, 2);
-  add_flop("f0", {80, 9}, 0, -1, -1);
-  add_flop("f1", {86, 9}, 0, -1, -1);
-  add_flop("f2", {92, 9}, 0, -1, -1);
+  add_flop("f0", {84, 9}, 0, -1, -1);
+  add_flop("f1", {90, 9}, 0, -1, -1);
+  add_flop("f2", {96, 9}, 0, -1, -1);
   // Partition 1: four free flops nearby -- never mergeable with partition 0.
   for (int i = 0; i < 4; ++i)
     add_flop("p1_" + std::to_string(i), {60.0 + 6 * i, 9}, 1, -1, -1);
@@ -90,8 +90,10 @@ int main() {
   print_chain(design, 0);
   print_chain(design, 1);
 
-  // Compose.
+  // Compose, with the paranoid flow checker on: scan-chain integrity is
+  // exactly the invariant this demo is about, so have every stage prove it.
   mbr::FlowOptions options;
+  options.check_level = check::CheckLevel::kParanoid;
   options.timing.clock_period = 2.0;  // relaxed: scan demo, not a timing one
   // Both 3-flop groups map to incomplete 4-bit cells; scan cells carry extra
   // area, so the paper's default 5% incomplete-area budget is a hair short

@@ -158,6 +158,8 @@ public:
           ++next;
           break;
       }
+      if (is_artificial_[basis_[r]])
+        initial_infeasibility_ += std::abs(row[total_cols_]);
     }
   }
 
@@ -197,13 +199,21 @@ public:
     return 0.0;
   }
 
+  // Phase-1 feasibility threshold: the hand-off objective is a *sum* of
+  // artificial values, so a fixed absolute cutoff misclassifies programs
+  // whose coefficients are merely large (rounding scales with the data).
+  // Scale the user tolerance by the starting infeasibility instead.
+  double feasibility_tolerance() const {
+    return options_.tolerance * std::max(1.0, initial_infeasibility_);
+  }
+
   // After phase 1: pivot remaining artificial basics out where possible and
   // drop redundant rows. Returns false if any artificial remains with a
   // nonzero value (infeasible).
   bool eliminate_artificials() {
     for (int r = 0; r < row_count(); ++r) {
       if (!is_artificial_[basis_[r]]) continue;
-      if (grid_[r][total_cols_] > options_.tolerance) return false;
+      if (grid_[r][total_cols_] > feasibility_tolerance()) return false;
       // Try to pivot in any non-artificial column with a nonzero entry.
       int col = -1;
       for (int c = 0; c < total_cols_; ++c) {
@@ -291,6 +301,7 @@ private:
 
   SimplexOptions options_;
   int structural_count_ = 0;
+  double initial_infeasibility_ = 0.0;  // sum of |rhs| over artificial rows
   int total_cols_ = 0;
   std::vector<std::vector<double>> grid_;
   std::vector<double> reduced_;
@@ -330,7 +341,8 @@ Solution solve_lp(const Model& model, const SimplexOptions& options) {
       solution.status = s1;
       return solution;
     }
-    if (tableau.objective() > 1e-6 || !tableau.eliminate_artificials()) {
+    if (tableau.objective() > tableau.feasibility_tolerance() ||
+        !tableau.eliminate_artificials()) {
       solution.status = SolveStatus::kInfeasible;
       return solution;
     }

@@ -73,17 +73,29 @@ Metrics evaluate_design(const netlist::Design& design,
   return m;
 }
 
-namespace {
-
 // Downsizes (or upsizes) each new MBR to the weakest drive variant whose
-// Q-side slack stays non-negative; runs a final STA pass internally.
+// Q-side slack stays non-negative.
 void size_new_mbrs(netlist::Design& design,
                    const std::vector<netlist::CellId>& new_cells,
                    const sta::SkewMap& skew, sta::TimingEngine& engine) {
   if (new_cells.empty()) return;
-  const sta::TimingReport& timing = engine.update(skew);
+  // Sizing is placement-aware: a wider variant is only eligible when the
+  // extra sites to the right of the cell's current footprint are free, so
+  // swaps never create overlaps and no cell moves after its timing was
+  // measured (a post-sizing re-legalization move would invalidate the very
+  // slacks the decision was based on).
+  place::RowGrid grid = place::build_occupancy(design);
 
   for (netlist::CellId cell_id : new_cells) {
+    // Re-query per cell: each accepted swap edits the design under the
+    // loop's feet. A different drive variant has a different footprint, so
+    // the swap moves the cell's pins and stretches (or shrinks) every net
+    // touching it -- including nets *driven by other registers in this
+    // list*. A neighbor sized against the pre-swap report keeps a Q slack
+    // that no longer exists and skips the upsize that would repair it (or
+    // upsizes for slack it no longer lacks). The engine's dirty-cone
+    // repair makes the per-swap re-query cheap.
+    const sta::TimingReport& timing = engine.update(skew);
     const netlist::Cell& cell = design.cell(cell_id);
     const lib::RegisterCell* current = cell.reg;
 
@@ -116,7 +128,12 @@ void size_new_mbrs(netlist::Design& design,
     }
 
     const double q_hold = timing.register_q_hold_slack(design, cell_id);
+    const int row = grid.row_of(cell.position.y);
     for (const lib::RegisterCell* variant : variants) {
+      if (variant->width > current->width + 1e-9 &&
+          !grid.is_free(row, cell.position.x + current->width,
+                        variant->width - current->width))
+        continue;  // wider footprint would overlap a neighbor (or the edge)
       const double extra =
           (variant->drive_resistance - current->drive_resistance) * load *
           1e-3;  // kOhm * fF -> ns; negative = faster launch (upsizing)
@@ -126,13 +143,15 @@ void size_new_mbrs(netlist::Design& design,
       if (extra < 0 && q_hold != sta::kNoRequired &&
           -extra > std::max(0.0, q_hold - 0.005))
         continue;
-      if (variant != current) design.swap_register_cell(cell_id, variant);
+      if (variant != current) {
+        design.swap_register_cell(cell_id, variant);
+        grid.release(row, cell.position.x);
+        grid.occupy(row, cell.position.x, variant->width, cell_id);
+      }
       break;
     }
   }
 }
-
-}  // namespace
 
 FlowResult run_composition_flow(netlist::Design& design,
                                 const FlowOptions& options) {
@@ -154,10 +173,26 @@ FlowResult run_composition_flow(netlist::Design& design,
   // loop and the post-compose queries ride on cheap dirty-cone updates.
   sta::TimingEngine engine(design, timing_options);
 
+  // Flow-integrity checking (FlowOptions::check_level). `expect` tracks
+  // which invariants hold at the current point of the flow: mid-flow states
+  // legitimately run with dangling scan nets and unlegalized MBRs, and the
+  // expectations are restored as the repairing stages run.
+  const check::CheckLevel check_level = options.check_level;
+  check::DesignChecker::Baseline check_baseline;
+  if (check_level != check::CheckLevel::kOff)
+    check_baseline = check::DesignChecker::capture(design);
+  check::StageExpectations expect;
+  const sta::SkewMap no_skew;
+  const auto guard = [&](const char* stage, const sta::SkewMap& skew) {
+    check::enforce_stage(design, stage, check_level, expect, check_baseline,
+                         &engine, skew);
+  };
+
   {
     runtime::StageTimer timer(stage_metrics, "evaluate.before");
     result.before = evaluate_design(design, options, {}, &engine);
   }
+  guard("input", no_skew);
 
   util::Stopwatch compose_clock;
 
@@ -177,7 +212,16 @@ FlowResult run_composition_flow(netlist::Design& design,
       const place::LegalizeResult legal = place::legalize_cells(
           design, grid, result.decomposition.pieces);
       MBRC_ASSERT_MSG(legal.success, "decomposition legalization failed");
+      // Split pieces carry unstitched scan pins and the removed originals
+      // leave their chain-link nets dangling until the restitch stage. The
+      // splits also inflate the register count until composition and
+      // recombination absorb the pieces; the no-increase guarantee is
+      // re-armed at the output boundary.
+      expect.scan_stitched = false;
+      expect.nets_clean = false;
+      expect.register_count_bounded = false;
     }
+    guard("decompose", no_skew);
   }
 
   sta::TimingReport timing;
@@ -194,6 +238,7 @@ FlowResult run_composition_flow(netlist::Design& design,
                                                    composition_options);
     timer.add_items(result.plan.subgraph_count);
   }
+  guard("plan", no_skew);
 
   // Apply the merges: map -> place -> rewire.
   std::vector<netlist::CellId> new_cells;
@@ -223,6 +268,14 @@ FlowResult run_composition_flow(netlist::Design& design,
     }
     timer.add_items(result.mbrs_created);
   }
+  if (result.mbrs_created > 0) {
+    // New MBRs sit at their LP positions (not yet legalized) with
+    // unstitched scan pins; the replaced members' chain nets dangle.
+    expect.placement_legal = false;
+    expect.scan_stitched = false;
+    expect.nets_clean = false;
+  }
+  guard("apply", no_skew);
 
   // Undo splits whose pieces found no partners (no-lose guarantee of the
   // decomposition pre-pass).
@@ -250,12 +303,17 @@ FlowResult run_composition_flow(netlist::Design& design,
     result.legalization = place::legalize_cells(design, grid, order);
     MBRC_ASSERT_MSG(result.legalization.success,
                     "MBR legalization failed: core too full");
+    expect.placement_legal = true;
+    guard("legalize", no_skew);
   }
 
   {
     runtime::StageTimer timer(stage_metrics, "scan_restitch");
     result.restitch = restitch_scan_chains(design);
   }
+  expect.scan_stitched = true;
+  expect.nets_clean = true;
+  guard("restitch", no_skew);
   result.compose_seconds = compose_clock.seconds();
 
   // Useful skew on the new MBRs, then sizing under the final skews.
@@ -268,17 +326,21 @@ FlowResult run_composition_flow(netlist::Design& design,
         options.skew_only_new_mbrs ? &allowed : nullptr, &engine);
     result.skew = skew_result.skew;
     timer.add_items(skew_result.iterations_run);
+    guard("useful_skew", result.skew);
   }
   if (options.size_new_mbrs) {
     runtime::StageTimer timer(stage_metrics, "size_mbrs");
     size_new_mbrs(design, new_cells, result.skew, engine);
     timer.add_items(static_cast<std::int64_t>(new_cells.size()));
+    guard("size_mbrs", result.skew);
   }
 
   {
     runtime::StageTimer timer(stage_metrics, "evaluate.after");
     result.after = evaluate_design(design, options, result.skew, &engine);
   }
+  expect.register_count_bounded = true;  // the paper's output guarantee
+  guard("output", result.skew);
   result.total_seconds = total_clock.seconds();
   result.stages = stage_metrics.snapshot();
   return result;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "cts/cts.hpp"
 #include "mbr/composition.hpp"
 #include "mbr/decompose.hpp"
@@ -59,6 +60,13 @@ struct FlowOptions {
   /// any value; 1 runs the exact serial path. Defaults to the hardware
   /// thread count.
   int jobs = runtime::default_jobs();
+  /// Flow-integrity checking (src/check): kOff costs nothing (release
+  /// default); kStageBoundaries validates structural/placement/scan/
+  /// conservation invariants after every flow stage; kParanoid additionally
+  /// cross-validates the incremental timing engine against a fresh run_sta
+  /// at each boundary. Violations throw util::AssertionError naming the
+  /// first stage that broke an invariant.
+  check::CheckLevel check_level = check::CheckLevel::kOff;
 };
 
 /// The Table 1 measurement set for one design state.
@@ -112,6 +120,19 @@ Metrics evaluate_design(const netlist::Design& design,
                         const FlowOptions& options,
                         const sta::SkewMap& skew = {},
                         sta::TimingEngine* engine = nullptr);
+
+/// Post-composition sizing pass (FlowOptions::size_new_mbrs): moves each
+/// cell in `new_cells` to the weakest drive variant whose Q-side setup and
+/// hold slacks stay acceptable under `skew`. The report is re-queried from
+/// `engine` after every swap so each decision sees the slack changes earlier
+/// swaps caused (dirty-cone repair keeps the re-query cheap). Sizing is
+/// placement-aware: a wider variant is skipped unless the extra sites next
+/// to the cell are free, so the placement stays legal without any post-hoc
+/// move that would invalidate the measured slacks. Exposed for targeted
+/// regression testing.
+void size_new_mbrs(netlist::Design& design,
+                   const std::vector<netlist::CellId>& new_cells,
+                   const sta::SkewMap& skew, sta::TimingEngine& engine);
 
 /// Runs the full incremental composition flow, mutating `design`.
 FlowResult run_composition_flow(netlist::Design& design,

@@ -72,23 +72,29 @@ CongestionMap estimate_congestion(const netlist::Design& design,
                                   const RouteOptions& options) {
   CongestionMap map(design.core(), options);
 
+  std::vector<geom::Point> positions;
   for (std::int32_t i = 0; i < design.net_count(); ++i) {
     const netlist::NetId net_id{i};
     const netlist::Net& net = design.net(net_id);
     if (net.is_clock) continue;
 
     geom::Rect box = geom::Rect::empty();
-    int pins = 0;
+    positions.clear();
     auto add_pin = [&](netlist::PinId pin) {
       const geom::Point pos = design.pin_position(pin);
       box = box.expand(pos);
-      ++pins;
-      map.add_h_demand(map.gx_of(pos.x), map.gy_of(pos.y), options.pin_demand);
-      map.add_v_demand(map.gx_of(pos.x), map.gy_of(pos.y), options.pin_demand);
+      positions.push_back(pos);
     };
     if (net.driver.valid()) add_pin(net.driver);
     for (netlist::PinId s : net.sinks) add_pin(s);
+    // Degenerate (sub-2-pin) nets carry no routing, so they must not leave
+    // pin demand behind either; deposit access demand only for routable nets.
+    const int pins = static_cast<int>(positions.size());
     if (pins < 2) continue;
+    for (const geom::Point& pos : positions) {
+      map.add_h_demand(map.gx_of(pos.x), map.gy_of(pos.y), options.pin_demand);
+      map.add_v_demand(map.gx_of(pos.x), map.gy_of(pos.y), options.pin_demand);
+    }
 
     const int gx_lo = map.gx_of(box.xlo);
     const int gx_hi = map.gx_of(box.xhi);

@@ -169,6 +169,35 @@ TEST(Congestion, ClockNetsExcluded) {
   EXPECT_DOUBLE_EQ(map.max_utilization(), 0.0);
 }
 
+// Regression for the pin-demand leak: degenerate (sub-2-pin) nets carry no
+// routing, so they must not deposit pin-access demand either. The old code
+// recorded pin demand while collecting pin positions, before the 2-pin
+// routability check, so every dangling Q stub and driverless sink net
+// inflated the congestion map a little.
+TEST(Congestion, DegenerateNetsLeaveNoDemand) {
+  lib::Library library = lib::make_default_library();
+  netlist::Design design(&library, {0, 0, 100, 100});
+  const auto* dff = library.register_by_name("DFFP_B2_X1");
+  const netlist::CellId a = design.add_register("a", dff, {5, 5});
+  const netlist::CellId b = design.add_register("b", dff, {85, 85});
+  // A dangling driver stub (Q with no sinks) and a driverless sink net --
+  // both common transients around rewiring -- plus an unconnected net.
+  const netlist::NetId stub = design.create_net();
+  design.connect(design.register_q_pin(a, 0), stub);
+  const netlist::NetId floating = design.create_net();
+  design.connect(design.register_d_pin(b, 0), floating);
+  design.create_net();
+
+  const route::CongestionMap map = route::estimate_congestion(design);
+  EXPECT_DOUBLE_EQ(map.max_utilization(), 0.0);
+
+  // A routable 2-pin net still deposits pin demand at both endpoints.
+  design.connect(design.register_d_pin(b, 1), stub);
+  const route::CongestionMap routed = route::estimate_congestion(design);
+  EXPECT_GT(routed.max_utilization(), 0.0);
+  EXPECT_GT(routed.h_demand(routed.gx_of(5), routed.gy_of(5)), 0.0);
+}
+
 TEST(Congestion, OverflowWhenCapacityTiny) {
   lib::Library library = lib::make_default_library();
   netlist::Design design(&library, {0, 0, 100, 100});

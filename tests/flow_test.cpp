@@ -2,10 +2,12 @@
 // switches, and determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 
 #include "benchgen/generator.hpp"
 #include "mbr/flow.hpp"
+#include "sta/timing_engine.hpp"
 
 namespace mbrc::mbr {
 namespace {
@@ -169,6 +171,114 @@ TEST_F(FlowFixture, MappedCellsRespectDriveRule) {
     if (cell.name.rfind("mbrc_", 0) != 0) continue;
     EXPECT_LE(cell.reg->drive_resistance, 2.4 + 1e-9);
   }
+}
+
+// Regression for the stale-report sizing bug: two coupled MBRs where the
+// first swap physically degrades the second cell's timing. `b` drives the
+// bit-7 D pin of the wide 8-bit MBR `a`; when the sizer upsizes `a` (X1 ->
+// X4 for its own long Q path), `a`'s footprint grows and its D7 pin moves
+// several microns away from `b`, stretching `b`'s Q net. `b` -- calibrated
+// to sit a hair above zero slack before the swap -- goes underwater and
+// must upsize to X2, but only a *fresh* post-swap report shows that. The
+// old code queried the timing report once before the loop, so `b` kept its
+// comfortable pre-swap slack and stayed at X1, leaving a setup violation
+// the sizer was specifically asked to repair.
+TEST(SizeNewMbrs, CoupledMbrsSizedAgainstFreshReport) {
+  using netlist::CellId;
+  using netlist::NetId;
+  using netlist::PinId;
+
+  const lib::Library library = lib::make_default_library();
+  netlist::Design design(&library, {0, 0, 4000, 9});
+  const auto* dff8 = library.register_by_name("DFFP_B8_X1");
+  const auto* dff8_x4 = library.register_by_name("DFFP_B8_X4");
+  const auto* dff2 = library.register_by_name("DFFP_B2_X1");
+  const auto* dff1 = library.register_by_name("DFFP_B1_X1");
+  ASSERT_NE(dff8, nullptr);
+  ASSERT_NE(dff8_x4, nullptr);
+
+  // b ----(~1500 um)----> a.D7        (b's Q path; endpoint at a)
+  //                       a.Q0 ----(~2000 um)----> c.D0   (a's critical path)
+  // All on row 0 with free space to the right of each cell, so widening
+  // swaps are always placement-eligible.
+  const CellId b = design.add_register("b", dff2, {0, 0});
+  const CellId a = design.add_register("a", dff8, {1486, 0});
+  const CellId c = design.add_register("c", dff1, {3480, 0});
+
+  const NetId clock = design.create_net(true);
+  for (CellId reg : {a, b, c})
+    design.connect(design.register_clock_pin(reg), clock);
+
+  const NetId bq = design.create_net();
+  design.connect(design.register_q_pin(b, 0), bq);
+  design.connect(design.register_d_pin(a, 7), bq);
+  const NetId aq = design.create_net();
+  design.connect(design.register_q_pin(a, 0), aq);
+  design.connect(design.register_d_pin(c, 0), aq);
+
+  // The sizer's own load estimate (wire term plus sink caps) sets the
+  // decision thresholds.
+  const auto sizer_load = [&](CellId reg) {
+    double load = 0.0;
+    for (int bit = 0; bit < design.cell(reg).reg->bits; ++bit) {
+      const PinId q = design.register_q_pin(reg, bit);
+      if (!design.pin(q).net.valid()) continue;
+      load = std::max(load, design.net_hpwl(design.pin(q).net) * 0.2);
+      for (PinId s : design.net(design.pin(q).net).sinks)
+        load += design.pin(s).cap;
+    }
+    return load;
+  };
+  const double load_a = sizer_load(a);
+  const double load_b = sizer_load(b);
+
+  // Calibrate the clock period so b's Q slack sits `margin` above zero
+  // (slack shifts 1:1 with the period): against the pre-swap report b
+  // accepts X1 and never swaps.
+  const double margin = 3e-3;
+  sta::TimingOptions timing;
+  timing.clock_period = 1.0;
+  const sta::TimingReport coarse = run_sta(design, timing);
+  const double qb_at_one = coarse.register_q_slack(design, b);
+  ASSERT_NE(qb_at_one, sta::kNoRequired);
+  timing.clock_period = 1.0 - qb_at_one + margin;
+
+  // Preconditions that pin the scenario in the interesting window.
+  const sta::TimingReport probe = run_sta(design, timing);
+  const double qa = probe.register_q_slack(design, a);
+  // a must skip X2 (repairs < 75% of its deficit) and accept X4:
+  //   -2.4e-3 * load_a <= qa < -1.6e-3 * load_a, with ~10 ps to spare.
+  ASSERT_LT(qa, -1.6e-3 * load_a - 0.01);
+  ASSERT_GT(qa, -2.4e-3 * load_a + 0.01);
+  // Both upsizes must clear the hold guard.
+  ASSERT_GT(probe.register_q_hold_slack(design, a), 1.8e-3 * load_a + 0.01);
+  ASSERT_GT(probe.register_q_hold_slack(design, b), 1.2e-3 * load_b + 0.01);
+
+  // The coupling must dominate the margin: after a grows to X4, b's Q
+  // slack (longer net, larger driver load, longer wire into a.D7) must
+  // drop well below zero. Measured on a scratch copy.
+  {
+    netlist::Design scratch = design;
+    scratch.swap_register_cell(a, dff8_x4);
+    const sta::TimingReport swapped = run_sta(scratch, timing);
+    ASSERT_LT(swapped.register_q_slack(scratch, b), -margin / 2)
+        << "a's footprint growth no longer degrades b past the margin";
+  }
+
+  sta::TimingEngine engine(design, timing);
+  size_new_mbrs(design, {a, b}, {}, engine);
+
+  // `a` takes the X4 step its own deficit demands...
+  EXPECT_DOUBLE_EQ(design.cell(a).reg->drive_resistance, 0.6);
+  // ...and `b`, deciding on the fresh post-swap report, sees the slack its
+  // stretched net just lost and upsizes to X2. (The stale report still
+  // showed +margin, so the unfixed sizer left b at X1.)
+  EXPECT_DOUBLE_EQ(design.cell(b).reg->drive_resistance, 1.2);
+
+  const sta::TimingReport after = run_sta(design, timing);
+  EXPECT_GE(after.register_q_slack(design, b), 0.0);
+  EXPECT_GT(after.register_q_slack(design, a), qa);  // a's deficit shrank
+  EXPECT_EQ(after.failing_hold_endpoints(), 0);
 }
 
 TEST(EvaluateDesign, StandaloneMetrics) {

@@ -114,6 +114,104 @@ TEST(Simplex, DegenerateRedundantConstraints) {
   EXPECT_NEAR(s.values[x], 2.0, 1e-9);
 }
 
+// Regression for the hard-coded phase-1 feasibility cutoff. The hand-off
+// from phase 1 used to compare the leftover artificial mass against a fixed
+// 1e-6 regardless of SimplexOptions::tolerance or problem magnitude; the
+// fix scales the user tolerance by the starting infeasibility (sum |rhs|
+// over artificial rows).
+TEST(Simplex, FeasibilityRespectsUserTolerance) {
+  Model m;
+  const int x = m.add_continuous("x", 1.0, 0.0, 10.0);
+  // Out of reach by 5e-3: a genuine (small) infeasibility, large enough
+  // that no pivot tie-breaking can absorb it.
+  m.add_constraint({{x, 1}}, Relation::kGreaterEqual, 10.0 + 5e-3);
+
+  // At the default 1e-9 tolerance the program is infeasible...
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kInfeasible);
+
+  // ...but a caller asking for 1e-3 slop gets the near-feasible optimum:
+  // the phase-1 cutoff is tolerance * sum|rhs| ~ 1e-2. (The old fixed 1e-6
+  // cutoff ignored the option and still said infeasible.)
+  SimplexOptions loose;
+  loose.tolerance = 1e-3;
+  const Solution s = solve_lp(m, loose);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], 10.0, 1e-1);
+}
+
+TEST(Simplex, FeasibilityToleranceScalesWithMagnitude) {
+  // Two equality rows consistent to 5e-11 *relative* precision -- far
+  // tighter than any placement data -- but 0.5 apart in absolute terms.
+  // At rhs magnitude 1e10 that gap is pivot-rounding noise and the program
+  // must solve; the old absolute 1e-6 cutoff declared it infeasible.
+  Model big;
+  const int x = big.add_continuous("x", 1.0, 0.0);
+  const int y = big.add_continuous("y", 0.0, 0.0);
+  big.add_constraint({{x, 1}, {y, 1}}, Relation::kEqual, 1e10);
+  big.add_constraint({{x, 1}, {y, 1}}, Relation::kEqual, 1e10 + 0.5);
+  const Solution s = solve_lp(big);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x] + s.values[y], 1e10, 1.0);
+
+  // The same absolute gap at unit scale is a real inconsistency.
+  Model small;
+  const int u = small.add_continuous("u", 1.0, 0.0);
+  const int v = small.add_continuous("v", 0.0, 0.0);
+  small.add_constraint({{u, 1}, {v, 1}}, Relation::kEqual, 1.0);
+  small.add_constraint({{u, 1}, {v, 1}}, Relation::kEqual, 1.5);
+  EXPECT_EQ(solve_lp(small).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, IterationLimitReported) {
+  // Two >= rows force phase-1 work that cannot finish in one pivot.
+  Model m;
+  const int a = m.add_continuous("a", 1.0, 0.0);
+  const int b = m.add_continuous("b", 1.0, 0.0);
+  m.add_constraint({{a, 1}, {b, 2}}, Relation::kGreaterEqual, 3);
+  m.add_constraint({{a, 3}, {b, 1}}, Relation::kGreaterEqual, 4);
+  SimplexOptions strangled;
+  strangled.max_iterations = 1;
+  EXPECT_EQ(solve_lp(m, strangled).status, SolveStatus::kIterationLimit);
+}
+
+TEST(Simplex, BealeCyclingResolvedByBland) {
+  // Beale's classic cycling example: Dantzig pricing with naive ratio
+  // tie-breaking loops forever on these degenerate ties; the stall counter
+  // must hand over to Bland's rule and still reach the optimum at 0.05.
+  Model m;
+  const int x1 = m.add_continuous("x1", 0.75, 0.0);
+  const int x2 = m.add_continuous("x2", -150.0, 0.0);
+  const int x3 = m.add_continuous("x3", 0.02, 0.0);
+  const int x4 = m.add_continuous("x4", -6.0, 0.0);
+  m.set_sense(Sense::kMaximize);
+  m.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                   Relation::kLessEqual, 0.0);
+  m.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                   Relation::kLessEqual, 0.0);
+  m.add_constraint({{x3, 1.0}}, Relation::kLessEqual, 1.0);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.05, 1e-9);
+  EXPECT_NEAR(s.values[x3], 1.0, 1e-9);
+  EXPECT_TRUE(m.is_feasible(s.values, 1e-9));
+}
+
+TEST(Simplex, RedundantEqualityRowsDropped) {
+  // The duplicated equality leaves a zero row after phase 1, so its
+  // artificial stays basic at zero; eliminate_artificials must park it
+  // without declaring the program infeasible.
+  Model m;
+  const int x = m.add_continuous("x", 1.0, 0.0);
+  const int y = m.add_continuous("y", 0.0, 0.0);
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::kEqual, 5);
+  m.add_constraint({{x, 2}, {y, 2}}, Relation::kEqual, 10);  // same hyperplane
+  m.add_constraint({{x, 1}, {y, -1}}, Relation::kEqual, 1);
+  const Solution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], 3.0, 1e-9);
+  EXPECT_NEAR(s.values[y], 2.0, 1e-9);
+}
+
 TEST(ModelFeasibility, ChecksBoundsConstraintsIntegrality) {
   Model m;
   const int x = m.add_binary("x", 1.0);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "check/checker.hpp"
 #include "mbr/composition.hpp"
 #include "mbr/mapping.hpp"
 #include "mbr/rewire.hpp"
@@ -249,6 +250,40 @@ TEST_F(ScanFixture, PerBitScanCellChainsThroughEveryBit) {
   const RestitchStats stats = restitch_scan_chains(design);
   // 4 per-bit elements + 1 single = 5 elements -> 4 links.
   EXPECT_EQ(stats.links, 4);
+}
+
+// restitch_scan_chains' full contract, phrased as the flow's own integrity
+// checks: after restitching a mix of partitions, ordered sections and a
+// per-bit-scan MBR, the chains must satisfy every scan invariant the
+// DesignChecker knows (one acyclic chain per partition, full coverage,
+// section order) on top of clean structure and nets.
+TEST_F(ScanFixture, RestitchSatisfiesCheckerInvariants) {
+  for (int i = 0; i < 4; ++i)
+    add_scan_register("p0_" + std::to_string(i), {i * 12.0, 9.0}, 0, 0, i);
+  add_scan_register("p0_free", {60, 9}, 0);
+  const auto* pbs = library.register_by_name("DFFQ_B4_X1_PBS");
+  const CellId mbr = design.add_register("mbr", pbs, {80, 9});
+  design.cell(mbr).scan.partition = 1;
+  add_scan_register("p1_tail", {120, 9}, 1);
+
+  restitch_scan_chains(design);
+
+  check::DesignChecker clean(design);
+  clean.check_structure().check_nets().check_scan_chains();
+  EXPECT_TRUE(clean.report().ok()) << clean.report().to_string();
+
+  // Sabotage one link: cutting an SI input splits the partition-0 chain in
+  // two, which the checker must flag as a scan violation.
+  for (netlist::CellId reg : design.registers()) {
+    if (design.cell(reg).name != "p0_2") continue;
+    for (netlist::PinId p : design.cell(reg).pins)
+      if (design.pin(p).role == PinRole::kScanIn && design.pin(p).net.valid())
+        design.disconnect(p);
+  }
+  check::DesignChecker broken(design);
+  broken.check_scan_chains();
+  ASSERT_FALSE(broken.report().ok());
+  EXPECT_EQ(broken.report().violations.front().check, "scan");
 }
 
 }  // namespace
