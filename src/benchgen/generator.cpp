@@ -82,10 +82,13 @@ const lib::RegisterCell* sample_register_cell(util::Rng& rng,
     return c->scan_style == lib::ScanStyle::kPerBitPins;
   });
   MBRC_ASSERT_MSG(!cells.empty(), "library lacks a register class/width");
-  // Weakest (highest resistance) first.
+  // Weakest (highest resistance) first; name breaks resistance ties so the
+  // draw below lands on the same cell on every platform.
   std::sort(cells.begin(), cells.end(),
             [](const lib::RegisterCell* a, const lib::RegisterCell* b) {
-              return a->drive_resistance > b->drive_resistance;
+              if (a->drive_resistance != b->drive_resistance)
+                return a->drive_resistance > b->drive_resistance;
+              return a->name < b->name;
             });
   const double draw = rng.uniform_real(0.0, 1.0);
   const std::size_t index = draw < 0.80 ? 0 : (draw < 0.95 ? 1 : 2);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -163,7 +164,8 @@ DesignChecker& DesignChecker::check_placement() {
     double width;
     CellId cell;
   };
-  std::unordered_map<int, std::vector<Placed>> by_row;
+  // Ordered map: overlap reports must come out in row order, not hash order.
+  std::map<int, std::vector<Placed>> by_row;
 
   for (CellId cell_id : design_.live_cells()) {
     const netlist::Cell& cell = design_.cell(cell_id);
@@ -208,7 +210,8 @@ DesignChecker& DesignChecker::check_scan_chains() {
     PinId so;
     bool first_of_register = false;
   };
-  std::unordered_map<int, std::vector<Element>> partitions;
+  // Ordered map: chain diagnostics must come out in partition order.
+  std::map<int, std::vector<Element>> partitions;
   for (CellId reg : design_.registers()) {
     const netlist::Cell& cell = design_.cell(reg);
     if (!cell.reg->function.is_scan || cell.scan.partition < 0) continue;

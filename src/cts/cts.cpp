@@ -31,6 +31,7 @@ std::vector<Node> cluster_level(std::vector<Node> nodes,
       options.load_utilization *
       std::max_element(buffers.begin(), buffers.end(),
                        [](const auto& a, const auto& b) {
+                         // mbrc-lint: allow(R2, max_element is order-stable -- first maximum over the deterministic library order -- and only the max_load_cap value is read)
                          return a.max_load_cap < b.max_load_cap;
                        })
           ->max_load_cap;
@@ -48,7 +49,12 @@ std::vector<Node> cluster_level(std::vector<Node> nodes,
     const int band_b = static_cast<int>((b.position.y - min_y) / band);
     if (band_a != band_b) return band_a < band_b;
     const bool reversed = band_a % 2;
-    return reversed ? a.position.x > b.position.x : a.position.x < b.position.x;
+    if (a.position.x != b.position.x)
+      return reversed ? a.position.x > b.position.x
+                      : a.position.x < b.position.x;
+    if (a.position.y != b.position.y) return a.position.y < b.position.y;
+    // mbrc-lint: allow(R2, nodes have no id to break ties with; nodes tying on band then x then y then cap are value-identical and interchangeable in the serpentine order)
+    return a.cap < b.cap;
   });
 
   std::vector<Node> next;

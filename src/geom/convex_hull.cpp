@@ -20,6 +20,7 @@ bool on_segment(const Point& a, const Point& b, const Point& p) {
 
 std::vector<Point> convex_hull(std::vector<Point> points) {
   std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    // mbrc-lint: allow(R2, lexicographic on the full value -- ties are exact duplicates which the unique below erases)
     return a.x < b.x || (a.x == b.x && a.y < b.y);
   });
   points.erase(std::unique(points.begin(), points.end()), points.end());

@@ -91,7 +91,10 @@ struct Search {
     }
     for (int e = 0; e < n; ++e) {
       std::sort(covering[e].begin(), covering[e].end(), [&](int a, int b) {
-        return p.candidates[a].weight < p.candidates[b].weight;
+        const double wa = p.candidates[a].weight;
+        const double wb = p.candidates[b].weight;
+        if (wa != wb) return wa < wb;
+        return a < b;  // branching explores equal-weight candidates in id order
       });
       if (!covering[e].empty()) bound_remaining += min_ratio[e];
     }

@@ -86,6 +86,7 @@ const RegisterCell* Library::map_register(const MappingRequest& request) const {
     const auto strongest = std::min_element(
         usable.begin(), usable.end(),
         [](const RegisterCell* a, const RegisterCell* b) {
+          // mbrc-lint: allow(R2, min_element is order-stable -- first minimum over usable which preserves the deterministic registration order)
           return a->drive_resistance < b->drive_resistance;
         });
     strong.push_back(*strongest);

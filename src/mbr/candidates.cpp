@@ -104,6 +104,7 @@ const lib::RegisterCell* cheapest_cell(const lib::Library& library,
   return *std::min_element(cells.begin(), cells.end(),
                            [](const lib::RegisterCell* a,
                               const lib::RegisterCell* b) {
+                             // mbrc-lint: allow(R2, min_element is order-stable -- first minimum over cells_for's deterministic library order)
                              return a->area < b->area;
                            });
 }

@@ -203,17 +203,22 @@ CompatibilityGraph build_compatibility_graph(
     // neighbor's key from the float point c + d*bin can land in the wrong
     // bin when c sits at a bin boundary (the rounded sum crosses it),
     // silently dropping compatible pairs.
-    std::unordered_map<std::int64_t, std::vector<int>> bins;
+    // The bins are a sorted flat (key, node) vector rather than a hash map:
+    // probing walks a lower_bound range, so candidate pairs are visited in
+    // (bin key, node index) order on every platform.
     auto key_of = [](std::int64_t bx, std::int64_t by) {
       return (bx << 32) ^ (by & 0xffffffff);
     };
     auto bin_coord = [&](double v) {
       return static_cast<std::int64_t>(std::floor(v / bin));
     };
+    std::vector<std::pair<std::int64_t, int>> bins;
+    bins.reserve(members.size());
     for (int i : members) {
       const geom::Point c = graph.node(i).center();
-      bins[key_of(bin_coord(c.x), bin_coord(c.y))].push_back(i);
+      bins.emplace_back(key_of(bin_coord(c.x), bin_coord(c.y)), i);
     }
+    std::sort(bins.begin(), bins.end());
 
     for (int i : members) {
       const RegisterInfo& a = graph.node(i);
@@ -222,9 +227,11 @@ CompatibilityGraph build_compatibility_graph(
       const std::int64_t by = bin_coord(c.y);
       for (int dx = -1; dx <= 1; ++dx) {
         for (int dy = -1; dy <= 1; ++dy) {
-          const auto it = bins.find(key_of(bx + dx, by + dy));
-          if (it == bins.end()) continue;
-          for (int j : it->second) {
+          const std::int64_t probe = key_of(bx + dx, by + dy);
+          for (auto it = std::lower_bound(bins.begin(), bins.end(),
+                                          std::pair{probe, -1});
+               it != bins.end() && it->first == probe; ++it) {
+            const int j = it->second;
             if (j <= i) continue;  // each unordered pair once
             const RegisterInfo& b = graph.node(j);
             if (!placement_compatible(a, b, options)) continue;

@@ -1,7 +1,6 @@
 #include "mbr/composition.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "runtime/thread_pool.hpp"
 #include "util/assert.hpp"
@@ -18,11 +17,14 @@ std::vector<const Selection*> CompositionPlan::merges() const {
 ilp::SetPartitionResult solve_subgraph(
     const std::vector<int>& subgraph, const std::vector<Candidate>& candidates,
     const ilp::SetPartitionOptions& options) {
-  // Map graph node ids to dense element ids.
-  std::unordered_map<int, int> element_of;
-  element_of.reserve(subgraph.size());
-  for (std::size_t i = 0; i < subgraph.size(); ++i)
-    element_of.emplace(subgraph[i], static_cast<int>(i));
+  // Map graph node ids to dense element ids. partition_graph hands out each
+  // subgraph sorted ascending, so the dense id is the node's rank.
+  const auto element_of = [&](int node) {
+    const auto it = std::lower_bound(subgraph.begin(), subgraph.end(), node);
+    MBRC_ASSERT_MSG(it != subgraph.end() && *it == node,
+                    "candidate references node outside its subgraph");
+    return static_cast<int>(it - subgraph.begin());
+  };
 
   ilp::SetPartitionProblem problem;
   problem.element_count = static_cast<int>(subgraph.size());
@@ -31,12 +33,7 @@ ilp::SetPartitionResult solve_subgraph(
     ilp::SetPartitionCandidate spc;
     spc.weight = c.weight;
     spc.elements.reserve(c.nodes.size());
-    for (int node : c.nodes) {
-      const auto it = element_of.find(node);
-      MBRC_ASSERT_MSG(it != element_of.end(),
-                      "candidate references node outside its subgraph");
-      spc.elements.push_back(it->second);
-    }
+    for (int node : c.nodes) spc.elements.push_back(element_of(node));
     problem.candidates.push_back(std::move(spc));
   }
   return ilp::solve_set_partition(problem, options);

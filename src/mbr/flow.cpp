@@ -107,7 +107,9 @@ void size_new_mbrs(netlist::Design& design,
     });
     std::sort(variants.begin(), variants.end(),
               [](const lib::RegisterCell* a, const lib::RegisterCell* b) {
-                return a->drive_resistance > b->drive_resistance;
+                if (a->drive_resistance != b->drive_resistance)
+                  return a->drive_resistance > b->drive_resistance;
+                return a->name < b->name;
               });
     if (variants.size() <= 1) continue;
 

@@ -498,15 +498,21 @@ void TimingEngine::touch_cell(CellId cell_id) {
 
 void TimingEngine::apply_skew_diff(const SkewMap& skew) {
   std::vector<CellId> changed;
+  // mbrc-lint: allow(R1, collects into changed which is sorted below before any order-sensitive work)
   for (const auto& [cell, value] : skew) {
     const auto it = current_skew_.find(cell);
     if ((it == current_skew_.end() ? 0.0 : it->second) != value)
       changed.push_back(cell);
   }
+  // mbrc-lint: allow(R1, collects into changed which is sorted below before any order-sensitive work)
   for (const auto& [cell, value] : current_skew_) {
     if (value != 0.0 && !skew.contains(cell)) changed.push_back(cell);
   }
   if (changed.empty()) return;
+  // Canonicalize: the seeds are refreshed in cell-id order regardless of the
+  // two hash maps' iteration order above.
+  std::sort(changed.begin(), changed.end());
+  changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
   current_skew_ = skew;
   for (const CellId cell : changed) {
     const netlist::Cell& c = design_.cell(cell);

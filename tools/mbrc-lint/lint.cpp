@@ -1,0 +1,812 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace mbrc::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer. Comments are stripped into a per-line side table (suppression
+// comments live there); preprocessor directives are skipped wholesale so
+// `#include <unordered_map>` never reaches the rules.
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+struct FileScan {
+  const SourceFile* file = nullptr;
+  std::vector<Token> tokens;
+  std::map<int, std::string> comments;  // line -> comment text
+  std::vector<std::string> lines;       // raw text, for baseline keys
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators the rules care about. "<<" is safe to fuse
+// (two adjacent '<' never open templates) but ">>" is NOT fused: it usually
+// closes nested template argument lists.
+const char* kPunct3[] = {"<=>", "->*", "..."};
+const char* kPunct2[] = {"::", "->", "<<", "<=", ">=", "==", "!=", "+=",
+                         "-=", "*=", "/=", "%=", "&&", "||", "&=", "|=",
+                         "^=", "++", "--"};
+
+FileScan tokenize(const SourceFile& file) {
+  FileScan scan;
+  scan.file = &file;
+  {
+    std::istringstream is(file.content);
+    std::string line;
+    while (std::getline(is, line)) scan.lines.push_back(line);
+  }
+
+  const std::string& s = file.content;
+  std::size_t i = 0;
+  int line = 1;
+  const auto append_comment = [&](int at, const std::string& text) {
+    std::string& slot = scan.comments[at];
+    if (!slot.empty()) slot += ' ';
+    slot += text;
+  };
+
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line (honoring continuations).
+    if (c == '#' &&
+        (scan.tokens.empty() || scan.tokens.back().line != line)) {
+      while (i < s.size() && s[i] != '\n') {
+        if (s[i] == '\\' && i + 1 < s.size() && s[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      const std::size_t end = s.find('\n', i);
+      const std::size_t stop = end == std::string::npos ? s.size() : end;
+      append_comment(line, s.substr(i + 2, stop - i - 2));
+      i = stop;
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < s.size() && !(s[j] == '*' && s[j + 1] == '/')) {
+        if (s[j] == '\n') ++line;
+        ++j;
+      }
+      append_comment(start_line, s.substr(i + 2, j - i - 2));
+      i = j + 2 > s.size() ? s.size() : j + 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < s.size() && s[j] != quote) {
+        if (s[j] == '\\') ++j;
+        if (s[j] == '\n') ++line;
+        ++j;
+      }
+      scan.tokens.push_back(
+          {TokKind::kString, s.substr(i, j + 1 - i), line});
+      i = j + 1;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < s.size() && ident_char(s[j])) ++j;
+      scan.tokens.push_back({TokKind::kIdent, s.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < s.size() &&
+             (ident_char(s[j]) || s[j] == '.' || s[j] == '\'')) {
+        ++j;
+      }
+      scan.tokens.push_back({TokKind::kNumber, s.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation, longest match first.
+    std::string text(1, c);
+    for (const char* p : kPunct3)
+      if (s.compare(i, 3, p) == 0) text = p;
+    if (text.size() == 1)
+      for (const char* p : kPunct2)
+        if (s.compare(i, 2, p) == 0) text = p;
+    scan.tokens.push_back({TokKind::kPunct, std::move(text), line});
+    i += scan.tokens.back().text.size();
+    continue;
+  }
+  return scan;
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers.
+// ---------------------------------------------------------------------------
+
+bool is(const std::vector<Token>& t, std::size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+bool is_ident(const std::vector<Token>& t, std::size_t i) {
+  return i < t.size() && t[i].kind == TokKind::kIdent;
+}
+
+/// Index just past the matching closer for the opener at `open`.
+/// Returns t.size() when unbalanced.
+std::size_t match(const std::vector<Token>& t, std::size_t open,
+                  const char* o, const char* c) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == o) ++depth;
+    if (t[i].text == c && --depth == 0) return i + 1;
+  }
+  return t.size();
+}
+
+/// Skips a balanced template argument list starting at a '<' token.
+/// Unfused ">" tokens close one level each. Returns index past the final '>'.
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == "<") ++depth;
+    else if (t[i].text == ">" && --depth == 0) return i + 1;
+    else if (t[i].text == "(") i = match(t, i, "(", ")") - 1;
+  }
+  return t.size();
+}
+
+bool fp_member_ref(const std::vector<Token>& t, std::size_t i,
+                   const std::set<std::string>& fp_names) {
+  if (!is_ident(t, i) || !fp_names.contains(t[i].text)) return false;
+  if (i == 0) return true;  // plain variable
+  const std::string& prev = t[i - 1].text;
+  // Either a member access (.slack / ->weight) or a plain variable.
+  return prev == "." || prev == "->" ||
+         (t[i - 1].kind != TokKind::kIdent);
+}
+
+const std::set<std::string> kEmitCalls = {
+    "push_back", "emplace_back", "insert", "emplace", "append",
+    "add", "add_edge", "add_node", "push", "write"};
+
+const std::set<std::string> kSortCalls = {
+    "sort", "stable_sort", "nth_element", "partial_sort",
+    "min_element", "max_element"};
+
+const std::set<std::string> kRngIdents = {
+    "random_device", "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+    "default_random_engine", "ranlux24", "ranlux48", "knuth_b"};
+
+const std::set<std::string> kIdTypes = {"CellId", "PinId", "NetId"};
+
+const std::set<std::string> kParallelCalls = {"parallel_for",
+                                              "parallel_transform"};
+
+// ---------------------------------------------------------------------------
+// Cross-file tables.
+// ---------------------------------------------------------------------------
+
+struct GlobalTables {
+  std::set<std::string> unordered_aliases;  // e.g. SkewMap
+  std::set<std::string> fp_names;           // double/float fields & variables
+  // Unordered container *members* (trailing-underscore names only): they are
+  // declared in headers but iterated in the matching .cpp, so they must be
+  // visible across files. Restricting the global table to the member naming
+  // convention keeps common local names (`partitions`, `bins`) from leaking
+  // between unrelated translation units.
+  std::set<std::string> unordered_vars;
+};
+
+bool is_unordered(const std::string& text) {
+  return text == "unordered_map" || text == "unordered_set" ||
+         text == "unordered_multimap" || text == "unordered_multiset";
+}
+
+void collect_global(const FileScan& scan, GlobalTables& g) {
+  const auto& t = scan.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // using NAME = [std::]unordered_map<...>
+    if (is(t, i, "using") && is_ident(t, i + 1) && is(t, i + 2, "=")) {
+      std::size_t j = i + 3;
+      if (is(t, j, "std") && is(t, j + 1, "::")) j += 2;
+      if (j < t.size() && is_unordered(t[j].text))
+        g.unordered_aliases.insert(t[i + 1].text);
+    }
+    // double NAME / float NAME where NAME is a variable or field (the next
+    // token rules out function declarations `double name(...)`).
+    if ((is(t, i, "double") || is(t, i, "float")) && is_ident(t, i + 1)) {
+      const std::string& next = i + 2 < t.size() ? t[i + 2].text : ";";
+      if (next == ";" || next == "=" || next == "," || next == ")" ||
+          next == "{" || next == ":")
+        g.fp_names.insert(t[i + 1].text);
+    }
+  }
+}
+
+bool decl_terminator(const std::string& text) {
+  return text == ";" || text == "=" || text == "," || text == ")" ||
+         text == "{" || text == ":" || text == "(";
+}
+
+/// Declarations of unordered containers (direct or alias-typed), appended to
+/// `out`: `[std::]unordered_map<...> [&|*] NAME` and `ALIAS [&|*] NAME`.
+void collect_unordered_decls(const std::vector<Token>& t,
+                             const std::set<std::string>& aliases,
+                             std::set<std::string>& out) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind == TokKind::kIdent && is_unordered(t[i].text) &&
+        is(t, i + 1, "<")) {
+      std::size_t j = skip_angles(t, i + 1);
+      while (is(t, j, "&") || is(t, j, "*") || is(t, j, "const")) ++j;
+      if (is_ident(t, j)) out.insert(t[j].text);
+    }
+    if (t[i].kind == TokKind::kIdent && aliases.contains(t[i].text)) {
+      std::size_t j = i + 1;
+      while (is(t, j, "&") || is(t, j, "*")) ++j;
+      if (is_ident(t, j) && j + 1 < t.size() &&
+          decl_terminator(t[j + 1].text) && t[j + 1].text != "(")
+        out.insert(t[j].text);
+    }
+  }
+}
+
+/// Second global pass (needs aliases from every file before it can resolve
+/// alias-typed members, so it cannot be folded into collect_global). Only
+/// member-convention names (trailing underscore) go global.
+void collect_global_vars(const FileScan& scan, GlobalTables& g) {
+  std::set<std::string> all;
+  collect_unordered_decls(scan.tokens, g.unordered_aliases, all);
+  for (const std::string& name : all)
+    if (name.ends_with('_')) g.unordered_vars.insert(name);
+}
+
+struct VarTables {
+  std::set<std::string> unordered_vars;      // locals/params in this file
+  std::set<std::string> unordered_iters;     // iterators from NAME.find(...)
+  std::map<std::string, std::string> id_vars;  // name -> CellId/PinId/NetId
+};
+
+VarTables collect_vars(const FileScan& scan, const GlobalTables& g) {
+  VarTables v;
+  const auto& t = scan.tokens;
+  collect_unordered_decls(t, g.unordered_aliases, v.unordered_vars);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // IT = NAME.find(  -- iterator into an unordered container
+    if (is_ident(t, i) &&
+        (v.unordered_vars.contains(t[i].text) ||
+         g.unordered_vars.contains(t[i].text)) &&
+        is(t, i + 1, ".") && is(t, i + 2, "find") && is(t, i + 3, "(") &&
+        i >= 2 && is(t, i - 1, "=") && is_ident(t, i - 2))
+      v.unordered_iters.insert(t[i - 2].text);
+    // CellId/PinId/NetId [&] NAME  (declaration, not construction)
+    if (t[i].kind == TokKind::kIdent && kIdTypes.contains(t[i].text)) {
+      std::size_t j = i + 1;
+      while (is(t, j, "&")) ++j;
+      if (is_ident(t, j) && j + 1 < t.size() &&
+          decl_terminator(t[j + 1].text) && t[j + 1].text != "(")
+        v.id_vars.emplace(t[j].text, t[i].text);
+    }
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine.
+// ---------------------------------------------------------------------------
+
+struct Engine {
+  const GlobalTables& global;
+  const LintOptions& options;
+  std::vector<Finding>& findings;
+  std::vector<Finding>& bad_suppressions;
+
+  const FileScan* scan = nullptr;
+  VarTables vars;
+
+  bool rule_enabled(const char* rule) const {
+    return options.rules.empty() ||
+           std::find(options.rules.begin(), options.rules.end(), rule) !=
+               options.rules.end();
+  }
+
+  std::string line_text(int line) const {
+    if (line < 1 || line > static_cast<int>(scan->lines.size())) return {};
+    return scan->lines[static_cast<std::size_t>(line - 1)];
+  }
+
+  /// Looks for `mbrc-lint: allow(RULE, reason)` on `line` or the line above.
+  /// Returns 1 when found with a reason, -1 when found with an empty reason
+  /// (reported as a bad suppression), 0 when absent.
+  int suppression(const char* rule, int line, std::string* reason) const {
+    for (int probe : {line, line - 1}) {
+      const auto it = scan->comments.find(probe);
+      if (it == scan->comments.end()) continue;
+      const std::string& c = it->second;
+      std::size_t pos = c.find("mbrc-lint:");
+      if (pos == std::string::npos) continue;
+      pos = c.find("allow", pos);
+      if (pos == std::string::npos) continue;
+      pos = c.find('(', pos);
+      if (pos == std::string::npos) continue;
+      const std::size_t close = c.find(')', pos);
+      if (close == std::string::npos) continue;
+      std::string inside = c.substr(pos + 1, close - pos - 1);
+      const std::size_t comma = inside.find(',');
+      std::string named = inside.substr(0, comma);
+      named.erase(std::remove_if(named.begin(), named.end(), ::isspace),
+                  named.end());
+      if (named != rule) continue;
+      std::string r =
+          comma == std::string::npos ? "" : inside.substr(comma + 1);
+      while (!r.empty() && std::isspace(static_cast<unsigned char>(r.front())))
+        r.erase(r.begin());
+      while (!r.empty() && std::isspace(static_cast<unsigned char>(r.back())))
+        r.pop_back();
+      *reason = r;
+      return r.empty() ? -1 : 1;
+    }
+    return 0;
+  }
+
+  void emit(const char* rule, int line, std::string message) {
+    if (!rule_enabled(rule)) return;
+    Finding f;
+    f.rule = rule;
+    f.path = scan->file->path;
+    f.line = line;
+    f.message = std::move(message);
+    f.key = baseline_key(f.rule, f.path, line_text(line));
+    std::string reason;
+    const int s = suppression(rule, line, &reason);
+    if (s > 0) {
+      f.suppressed = true;
+      f.suppress_reason = std::move(reason);
+    } else if (s < 0) {
+      Finding bad = f;
+      bad.message = "suppression of " + bad.message +
+                    " -- allow(" + rule + ") requires a non-empty reason";
+      bad_suppressions.push_back(std::move(bad));
+    }
+    findings.push_back(std::move(f));
+  }
+
+  // --- R1: unordered iteration feeding results -----------------------------
+
+  bool body_emits(std::size_t begin, std::size_t end) const {
+    const auto& t = scan->tokens;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (t[i].kind == TokKind::kIdent && kEmitCalls.contains(t[i].text) &&
+          is(t, i + 1, "("))
+        return true;
+      if (t[i].text == "+=" || t[i].text == "<<") return true;
+    }
+    return false;
+  }
+
+  void rule_r1() {
+    const auto& t = scan->tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!is(t, i, "for") || !is(t, i + 1, "(")) continue;
+      const std::size_t close = match(t, i + 1, "(", ")");
+      // Range-for: a single ':' at paren depth 1.
+      std::size_t colon = t.size();
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (t[j].text == "(" || t[j].text == "[") ++depth;
+        if (t[j].text == ")" || t[j].text == "]") --depth;
+        if (t[j].text == ":" && depth == 1) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == t.size()) continue;
+      std::string container;
+      for (std::size_t j = colon + 1; j + 1 < close; ++j) {
+        if (!is_ident(t, j)) continue;
+        if (vars.unordered_vars.contains(t[j].text) ||
+            global.unordered_vars.contains(t[j].text) ||
+            vars.unordered_iters.contains(t[j].text)) {
+          container = t[j].text;
+          break;
+        }
+      }
+      if (container.empty()) continue;
+      // Body extent: braced block or single statement.
+      std::size_t body_begin = close, body_end;
+      if (is(t, close, "{")) {
+        body_end = match(t, close, "{", "}");
+      } else {
+        body_end = body_begin;
+        while (body_end < t.size() && t[body_end].text != ";") ++body_end;
+      }
+      if (!body_emits(body_begin, body_end)) continue;
+      emit("R1", t[i].line,
+           "iteration over unordered container '" + container +
+               "' emits into flow results; hash order is "
+               "implementation-defined -- iterate a sorted snapshot or an "
+               "insertion-ordered vector instead");
+    }
+  }
+
+  // --- R2: FP-only comparator tie-breaks -----------------------------------
+
+  /// Is the identifier at `k` a floating-point operand inside a comparator?
+  /// Member accesses (`.slack`, `->weight`) resolve against the global FP
+  /// field table; plain identifiers only count when the lambda's own
+  /// parameter list declares them double/float, which keeps generic names
+  /// like `a`/`b` from inheriting FP-ness from unrelated declarations.
+  bool cmp_fp_operand(std::size_t k,
+                      const std::set<std::string>& lambda_fp) const {
+    const auto& t = scan->tokens;
+    if (!is_ident(t, k)) return false;
+    if (k > 0 && (t[k - 1].text == "." || t[k - 1].text == "->"))
+      return global.fp_names.contains(t[k].text);
+    return lambda_fp.contains(t[k].text);
+  }
+
+  void rule_r2() {
+    const auto& t = scan->tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent || !kSortCalls.contains(t[i].text) ||
+          !is(t, i + 1, "("))
+        continue;
+      const std::size_t close = match(t, i + 1, "(", ")");
+      // The comparator is the last lambda argument.
+      std::size_t lambda = t.size();
+      for (std::size_t j = i + 2; j < close; ++j)
+        if (t[j].text == "[" &&
+            (t[j - 1].text == "," || t[j - 1].text == "("))
+          lambda = j;
+      if (lambda == t.size()) continue;
+      std::size_t j = match(t, lambda, "[", "]");
+      std::set<std::string> lambda_fp;
+      if (is(t, j, "(")) {
+        const std::size_t params_end = match(t, j, "(", ")");
+        for (std::size_t k = j + 1; k + 1 < params_end; ++k)
+          if ((is(t, k, "double") || is(t, k, "float")) && is_ident(t, k + 1))
+            lambda_fp.insert(t[k + 1].text);
+        j = params_end;
+      }
+      while (j < close && t[j].text != "{") ++j;
+      if (j >= close) continue;
+      const std::size_t body_end = match(t, j, "{", "}");
+
+      // The comparator's *last* return decides ties: flag when it compares
+      // floating-point data with no integral comparison anywhere in the
+      // expression (a correct total order ends on an integral key).
+      std::size_t last_ret = t.size();
+      for (std::size_t k = j; k < body_end; ++k)
+        if (is(t, k, "return")) last_ret = k;
+      if (last_ret == t.size()) continue;
+      std::size_t ret_end = last_ret;
+      while (ret_end < body_end && t[ret_end].text != ";") ++ret_end;
+
+      bool compares = false;
+      bool integral_cmp = false;
+      std::string fp_field;
+      for (std::size_t k = last_ret + 1; k < ret_end; ++k) {
+        const std::string& x = t[k].text;
+        if (x == "<" || x == ">" || x == "<=" || x == ">=") {
+          compares = true;
+          // `a < b` on non-FP operands is an integral tie-break: both
+          // neighbors are identifiers and neither classifies floating-point.
+          if (is_ident(t, k - 1) && is_ident(t, k + 1) &&
+              !cmp_fp_operand(k - 1, lambda_fp) &&
+              !cmp_fp_operand(k + 1, lambda_fp))
+            integral_cmp = true;
+        }
+        if (cmp_fp_operand(k, lambda_fp)) fp_field = t[k].text;
+      }
+      if (!compares || fp_field.empty() || integral_cmp) continue;
+      emit("R2", t[last_ret].line,
+           "comparator for '" + t[i].text +
+               "' breaks final ties on floating-point '" + fp_field +
+               "'; the order is not total under FP ties -- add an integral "
+               "tie-breaker (an id or index)");
+    }
+  }
+
+  // --- R3: nondeterminism sources outside util/rng.hpp ---------------------
+
+  bool r3_exempt() const {
+    for (const std::string& suffix : options.rng_exempt_paths) {
+      const std::string& p = scan->file->path;
+      if (p.size() >= suffix.size() &&
+          p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0)
+        return true;
+    }
+    return false;
+  }
+
+  void rule_r3() {
+    if (r3_exempt()) return;
+    const auto& t = scan->tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind == TokKind::kIdent) {
+        if ((t[i].text == "rand" || t[i].text == "srand") &&
+            is(t, i + 1, "(") && !is(t, i - 1, ".") && !is(t, i - 1, "->"))
+          emit("R3", t[i].line,
+               "call to '" + t[i].text +
+                   "()' -- all randomness must come from util::Rng "
+                   "(src/util/rng.hpp) so runs are reproducible");
+        if (kRngIdents.contains(t[i].text))
+          emit("R3", t[i].line,
+               "use of 'std::" + t[i].text +
+                   "' -- all randomness must come from util::Rng "
+                   "(src/util/rng.hpp) so runs are reproducible");
+      }
+      // Streaming a pointer value: addresses differ run to run under ASLR.
+      if (t[i].text == "<<" && is(t, i + 1, "&") && is_ident(t, i + 2))
+        emit("R3", t[i].line,
+             "streams the address of '" + t[i + 2].text +
+                 "'; pointer values differ per run -- stream an id or a "
+                 "name instead");
+      if (t[i].text == "<<" && is(t, i + 1, "static_cast") &&
+          is(t, i + 2, "<")) {
+        const std::size_t end = skip_angles(t, i + 2);
+        for (std::size_t k = i + 2; k < end; ++k)
+          if (t[k].text == "void")
+            emit("R3", t[i].line,
+                 "streams a pointer cast to void*; addresses differ per "
+                 "run -- stream an id or a name instead");
+      }
+    }
+  }
+
+  // --- R4: raw arithmetic crossing typed id spaces -------------------------
+
+  void rule_r4() {
+    const auto& t = scan->tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      // TId{...} / TId(...) construction whose argument reaches into a
+      // different id space via `.index`, or does arithmetic on `.index`.
+      if (t[i].kind == TokKind::kIdent && kIdTypes.contains(t[i].text) &&
+          (is(t, i + 1, "{") || is(t, i + 1, "("))) {
+        const bool brace = is(t, i + 1, "{");
+        const std::size_t end = brace ? match(t, i + 1, "{", "}")
+                                      : match(t, i + 1, "(", ")");
+        bool has_index = false, has_arith = false;
+        std::string cross;
+        for (std::size_t k = i + 2; k + 1 < end; ++k) {
+          if (is_ident(t, k) && is(t, k + 1, ".") && is(t, k + 2, "index")) {
+            has_index = true;
+            const auto it = vars.id_vars.find(t[k].text);
+            if (it != vars.id_vars.end() && it->second != t[i].text)
+              cross = t[k].text + " (" + it->second + ")";
+          }
+          const std::string& x = t[k].text;
+          if (x == "+" || x == "-" || x == "*" || x == "/" || x == "%")
+            has_arith = true;
+        }
+        if (!cross.empty())
+          emit("R4", t[i].line,
+               "constructs " + t[i].text + " from the .index of " + cross +
+                   " -- crossing typed id spaces defeats the Id<Tag> "
+                   "protection of netlist/ids.hpp");
+        else if (has_index && has_arith)
+          emit("R4", t[i].line,
+               "constructs " + t[i].text +
+                   " from raw arithmetic on an id's .index -- derive ids "
+                   "from the owning container, not index math");
+      }
+      // VAR1.index <op> VAR2.index across different id types.
+      if (is_ident(t, i) && is(t, i + 1, ".") && is(t, i + 2, "index") &&
+          i + 3 < t.size()) {
+        const std::string& op = t[i + 3].text;
+        if ((op == "==" || op == "!=" || op == "<" || op == ">" ||
+             op == "<=" || op == ">=") &&
+            is_ident(t, i + 4) && is(t, i + 5, ".") && is(t, i + 6, "index")) {
+          const auto a = vars.id_vars.find(t[i].text);
+          const auto b = vars.id_vars.find(t[i + 4].text);
+          if (a != vars.id_vars.end() && b != vars.id_vars.end() &&
+              a->second != b->second)
+            emit("R4", t[i].line,
+                 "compares .index across id spaces: " + t[i].text + " (" +
+                     a->second + ") vs " + t[i + 4].text + " (" + b->second +
+                     ") -- distinct Id<Tag> types are never comparable");
+        }
+      }
+    }
+  }
+
+  // --- R5: FP accumulation inside parallel lambdas -------------------------
+
+  void rule_r5() {
+    const auto& t = scan->tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent ||
+          !kParallelCalls.contains(t[i].text) || !is(t, i + 1, "("))
+        continue;
+      const std::size_t close = match(t, i + 1, "(", ")");
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (t[j].text != "[" ||
+            !(t[j - 1].text == "," || t[j - 1].text == "("))
+          continue;
+        std::size_t k = match(t, j, "[", "]");
+        if (is(t, k, "(")) k = match(t, k, "(", ")");
+        while (k < close && t[k].text != "{") ++k;
+        if (k >= close) continue;
+        const std::size_t body_end = match(t, k, "{", "}");
+        for (std::size_t m = k; m < body_end; ++m) {
+          if ((t[m].text == "+=" || t[m].text == "-=") && m > 0 &&
+              fp_member_ref(t, m - 1, global.fp_names))
+            emit("R5", t[m].line,
+                 "accumulates into floating-point '" + t[m - 1].text +
+                     "' inside a " + t[i].text +
+                     " lambda; FP addition is not associative, so the "
+                     "reduction order leaks into the result -- write "
+                     "per-task slots and fold them on one thread");
+          // x = x + ... with x floating-point.
+          if (is(t, m, "=") && m > 0 && is_ident(t, m - 1) &&
+              is_ident(t, m + 1) && t[m - 1].text == t[m + 1].text &&
+              (is(t, m + 2, "+") || is(t, m + 2, "-")) &&
+              global.fp_names.contains(t[m - 1].text))
+            emit("R5", t[m].line,
+                 "accumulates into floating-point '" + t[m - 1].text +
+                     "' inside a " + t[i].text +
+                     " lambda; FP addition is not associative, so the "
+                     "reduction order leaks into the result -- write "
+                     "per-task slots and fold them on one thread");
+        }
+        j = body_end;
+      }
+    }
+  }
+
+  void run(const FileScan& file_scan) {
+    scan = &file_scan;
+    vars = collect_vars(file_scan, global);
+    rule_r1();
+    rule_r2();
+    rule_r3();
+    rule_r4();
+    rule_r5();
+  }
+};
+
+std::string normalize_line(const std::string& text) {
+  std::string out;
+  bool space = true;  // swallow leading whitespace
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!space && !out.empty()) out += ' ';
+      space = true;
+    } else {
+      out += c;
+      space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t baseline_key(const std::string& rule, const std::string& path,
+                           const std::string& line_text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;
+    h *= 0x100000001b3ULL;
+  };
+  mix(rule);
+  mix(path);
+  mix(normalize_line(line_text));
+  return h;
+}
+
+std::vector<BaselineEntry> parse_baseline(const std::string& text) {
+  std::vector<BaselineEntry> entries;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    BaselineEntry e;
+    std::string key_hex;
+    if (!(ls >> e.rule >> e.path >> key_hex)) continue;
+    e.key = std::stoull(key_hex, nullptr, 16);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::string format_baseline(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "# mbrc-lint baseline: grandfathered findings.\n"
+     << "# rule path key(rule,path,normalized-line). Entries go stale when\n"
+     << "# the flagged line changes; remove them, never add new ones.\n";
+  for (const Finding& f : findings) {
+    os << f.rule << ' ' << f.path << ' ' << std::hex << f.key << std::dec
+       << "  # line " << f.line << '\n';
+  }
+  return os.str();
+}
+
+std::vector<const Finding*> LintResult::active() const {
+  std::vector<const Finding*> out;
+  for (const Finding& f : findings)
+    if (!f.suppressed && !f.baselined) out.push_back(&f);
+  return out;
+}
+
+bool LintResult::clean() const {
+  return active().empty() && bad_suppressions.empty() &&
+         stale_baseline.empty();
+}
+
+LintResult run_lint(const std::vector<SourceFile>& files,
+                    const LintOptions& options,
+                    const std::vector<BaselineEntry>& baseline) {
+  LintResult result;
+
+  std::vector<FileScan> scans;
+  scans.reserve(files.size());
+  for (const SourceFile& file : files) scans.push_back(tokenize(file));
+
+  GlobalTables global;
+  for (const FileScan& scan : scans) collect_global(scan, global);
+  for (const FileScan& scan : scans) collect_global_vars(scan, global);
+
+  Engine engine{global, options, result.findings, result.bad_suppressions,
+                nullptr, {}};
+  for (const FileScan& scan : scans) engine.run(scan);
+
+  // Baseline matching: each entry absorbs one finding; leftovers are stale.
+  std::multimap<std::uint64_t, std::size_t> by_key;
+  for (std::size_t i = 0; i < baseline.size(); ++i)
+    by_key.emplace(baseline[i].key, i);
+  std::vector<bool> used(baseline.size(), false);
+  for (Finding& f : result.findings) {
+    if (f.suppressed) continue;
+    const auto [lo, hi] = by_key.equal_range(f.key);
+    for (auto it = lo; it != hi; ++it) {
+      const BaselineEntry& e = baseline[it->second];
+      if (!used[it->second] && e.rule == f.rule && e.path == f.path) {
+        used[it->second] = true;
+        f.baselined = true;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < baseline.size(); ++i)
+    if (!used[i]) result.stale_baseline.push_back(baseline[i]);
+  return result;
+}
+
+}  // namespace mbrc::lint

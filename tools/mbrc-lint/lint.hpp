@@ -1,0 +1,113 @@
+// mbrc-lint: a project-specific determinism & id-safety static-analysis
+// pass over the flow sources.
+//
+// The flow's headline guarantee -- bit-identical composition results at any
+// `jobs` count and across incremental-vs-fresh STA -- is enforced at runtime
+// by tests and the flow fuzzer. This tool catches the hazard *classes* those
+// tests hunt for at review time, with a token/line-level scanner (no libclang
+// dependency):
+//
+//   R1  range-for / bucket iteration over std::unordered_map/unordered_set
+//       (including project aliases like sta::SkewMap) whose body emits,
+//       appends or accumulates into flow results. Hash iteration order is
+//       implementation-defined; anything it feeds can silently reorder
+//       candidate enumeration, clique ordering or emitted netlists. Use a
+//       sorted key snapshot or an insertion-ordered vector side table.
+//   R2  sort/stable_sort/nth_element/min_element/max_element comparators
+//       whose final tie-break compares a floating-point field. Under FP ties
+//       the order is not total and std::sort may permute equal elements
+//       differently across implementations. End comparators with an integral
+//       tie-breaker (an id, an index).
+//   R3  nondeterminism sources outside src/util/rng.hpp: rand(), srand(),
+//       std::random_device, std:: engine types, and streaming pointer values
+//       (addresses differ per run under ASLR).
+//   R4  raw integer traffic that crosses the typed id spaces of
+//       src/netlist/ids.hpp: constructing one id type from another id's
+//       .index, arithmetic on .index inside an id constructor, or comparing
+//       .index of two different id types.
+//   R5  float/double accumulation (+=, -=, x = x + ...) inside lambdas passed
+//       to parallel_for/parallel_transform: FP addition is not associative,
+//       so an order-dependent reduction breaks the jobs bit-identity
+//       guarantee. Reduce into per-task slots and fold on one thread.
+//
+// Suppression: `// mbrc-lint: allow(R1, reason why this is safe)` on the
+// finding's line or the line directly above. The reason is mandatory.
+// Grandfathered findings live in a checked-in baseline keyed on
+// (rule, file, normalized line text) so unrelated edits do not invalidate
+// entries; stale entries are reported so the baseline only ever shrinks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbrc::lint {
+
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct Finding {
+  std::string rule;       // "R1".."R5"
+  std::string path;
+  int line = 0;           // 1-based
+  std::string message;
+  std::uint64_t key = 0;  // baseline key: hash(rule, path, normalized line)
+  bool suppressed = false;
+  std::string suppress_reason;
+  bool baselined = false;
+};
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path;
+  std::uint64_t key = 0;
+};
+
+struct LintOptions {
+  /// Rules to run; empty means all.
+  std::vector<std::string> rules;
+  /// Path suffixes exempt from R3 (the sanctioned RNG lives here).
+  std::vector<std::string> rng_exempt_paths = {"util/rng.hpp"};
+};
+
+struct LintResult {
+  /// Every finding, including suppressed and baselined ones.
+  std::vector<Finding> findings;
+  /// Baseline entries that matched no finding (stale: the grandfathered
+  /// hazard was fixed or the line rewritten -- remove the entry).
+  std::vector<BaselineEntry> stale_baseline;
+  /// Suppression comments with an empty reason (treated as findings).
+  std::vector<Finding> bad_suppressions;
+
+  /// Findings that are neither suppressed nor baselined.
+  std::vector<const Finding*> active() const;
+  /// Nonzero-exit condition: active findings, bad suppressions or a stale
+  /// baseline.
+  bool clean() const;
+};
+
+/// Baseline key of a finding: FNV-1a over rule, path and the finding line's
+/// whitespace-normalized text, so entries survive edits elsewhere in the
+/// file but go stale when the flagged line itself changes.
+std::uint64_t baseline_key(const std::string& rule, const std::string& path,
+                           const std::string& line_text);
+
+/// Parses the baseline format: one `rule<space>path<space>hex-key` per line;
+/// blank lines and `#` comments ignored.
+std::vector<BaselineEntry> parse_baseline(const std::string& text);
+
+/// Serializes findings (active + suppressed are excluded; pass the findings
+/// you want grandfathered) into the baseline format.
+std::string format_baseline(const std::vector<Finding>& findings);
+
+/// Runs all enabled rules over the file set. Alias and field-type tables
+/// (e.g. `using SkewMap = std::unordered_map<...>`, `double x;`) are built
+/// across the whole set first, so a loop in one file over an alias declared
+/// in another is still caught.
+LintResult run_lint(const std::vector<SourceFile>& files,
+                    const LintOptions& options = {},
+                    const std::vector<BaselineEntry>& baseline = {});
+
+}  // namespace mbrc::lint
