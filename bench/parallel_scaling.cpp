@@ -19,6 +19,7 @@
 
 #include "benchgen/generator.hpp"
 #include "mbr/flow.hpp"
+#include "obs/json.hpp"
 
 using namespace mbrc;
 
@@ -109,13 +110,19 @@ int main(int argc, char** argv) {
   const std::string out_path = env ? env : "BENCH_parallel_scaling.json";
   const double base = recorded_runs().count(1) ? recorded_runs().at(1) : 0.0;
   std::ofstream out(out_path);
-  out << "{\n  \"bench\": \"parallel_scaling\",\n  \"runs\": [\n";
-  std::size_t i = 0;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", 1).kv("bench", "parallel_scaling");
+  w.key("runs").begin_array();
   for (const auto& [jobs, seconds] : recorded_runs()) {
-    out << "    {\"jobs\": " << jobs << ", \"flow_seconds\": " << seconds
-        << ", \"speedup\": " << (seconds > 0.0 ? base / seconds : 0.0) << "}"
-        << (++i < recorded_runs().size() ? "," : "") << "\n";
+    w.begin_object()
+        .kv("jobs", jobs)
+        .kv("flow_seconds", seconds)
+        .kv("speedup", seconds > 0.0 ? base / seconds : 0.0)
+        .end_object();
   }
-  out << "  ]\n}\n";
+  w.end_array();
+  w.end_object();
+  out << '\n';
   return 0;
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "benchgen/generator.hpp"
+#include "obs/json.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sta/timing_engine.hpp"
 #include "util/rng.hpp"
@@ -139,24 +140,29 @@ int main(int argc, char** argv) {
                 r.avg_repaired_pins, r.identical ? "yes" : "NO");
 
   std::ofstream out(out_path);
-  out << "{\n"
-      << "  \"bench\": \"sta_incremental\",\n"
-      << "  \"design\": {\"profile\": \"" << largest->name
-      << "\", \"register_cells\": " << largest->register_cells
-      << ", \"pins\": " << generated.design.pin_count() << "},\n"
-      << "  \"iterations\": " << kIterations << ",\n"
-      << "  \"skewed_registers\": " << kSkewedRegisters << ",\n"
-      << "  \"runs\": [\n";
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const RunResult& r = runs[i];
-    out << "    {\"jobs\": " << r.jobs << ", \"full_seconds\": "
-        << r.full_seconds << ", \"incremental_seconds\": "
-        << r.incremental_seconds << ", \"speedup\": " << r.speedup
-        << ", \"avg_repaired_pins\": " << r.avg_repaired_pins
-        << ", \"bit_identical\": " << (r.identical ? "true" : "false") << "}"
-        << (i + 1 < runs.size() ? "," : "") << "\n";
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", 1).kv("bench", "sta_incremental");
+  w.key("design").begin_object();
+  w.kv("profile", largest->name)
+      .kv("register_cells", largest->register_cells)
+      .kv("pins", generated.design.pin_count());
+  w.end_object();
+  w.kv("iterations", kIterations).kv("skewed_registers", kSkewedRegisters);
+  w.key("runs").begin_array();
+  for (const RunResult& r : runs) {
+    w.begin_object()
+        .kv("jobs", r.jobs)
+        .kv("full_seconds", r.full_seconds)
+        .kv("incremental_seconds", r.incremental_seconds)
+        .kv("speedup", r.speedup)
+        .kv("avg_repaired_pins", r.avg_repaired_pins)
+        .kv("bit_identical", r.identical)
+        .end_object();
   }
-  out << "  ]\n}\n";
+  w.end_array();
+  w.end_object();
+  out << '\n';
 
   bool ok = true;
   for (const RunResult& r : runs) ok = ok && r.identical && r.speedup >= 3.0;

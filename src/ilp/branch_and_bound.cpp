@@ -4,6 +4,8 @@
 #include <limits>
 #include <optional>
 
+#include "obs/counters.hpp"
+
 namespace mbrc::ilp {
 
 namespace {
@@ -98,6 +100,16 @@ lp::Solution solve_ilp(const lp::Model& model,
   lp::Model working = model;  // bounds are tightened in place during search
   searcher.search(working);
   if (stats) *stats = searcher.stats;
+
+  // One flush per solve: work counts, never wall time (DESIGN.md §11).
+  static obs::Counter& c_solves = obs::counter("ilp.bnb.solves");
+  static obs::Counter& c_nodes = obs::counter("ilp.bnb.nodes_explored");
+  static obs::Counter& c_lp = obs::counter("ilp.bnb.lp_solves");
+  static obs::Histogram& h_nodes = obs::histogram("ilp.bnb.nodes_per_solve");
+  c_solves.add(1);
+  c_nodes.add(static_cast<std::int64_t>(searcher.stats.nodes_explored));
+  c_lp.add(static_cast<std::int64_t>(searcher.stats.lp_solves));
+  h_nodes.record(static_cast<std::int64_t>(searcher.stats.nodes_explored));
 
   lp::Solution solution;
   if (!searcher.incumbent.found) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/assert.hpp"
 
@@ -64,6 +66,7 @@ struct Search {
   double best_cost = std::numeric_limits<double>::infinity();
   std::vector<int> best_chosen;
   std::int64_t nodes = 0;
+  std::int64_t bound_prunes = 0;
   bool budget_hit = false;
 
   Search(const SetPartitionProblem& p, const SetPartitionOptions& o)
@@ -130,7 +133,10 @@ struct Search {
       budget_hit = true;
       return;
     }
-    if (cost + bound_remaining >= best_cost) return;  // bound prune
+    if (cost + bound_remaining >= best_cost) {  // bound prune
+      ++bound_prunes;
+      return;
+    }
 
     const int element = pick_element();
     if (element == -2) return;  // uncoverable
@@ -174,6 +180,7 @@ SetPartitionResult solve_set_partition(const SetPartitionProblem& problem,
     result.feasible = true;
     return result;
   }
+  obs::Span span("ilp.set_partition");
   Search search(problem, options);
   // Quick infeasibility check: every element needs at least one candidate.
   for (int e = 0; e < problem.element_count; ++e) {
@@ -181,6 +188,21 @@ SetPartitionResult solve_set_partition(const SetPartitionProblem& problem,
   }
   search.run();
   result.nodes_explored = search.nodes;
+
+  // One flush per solve: work counts, never wall time (DESIGN.md §11).
+  static obs::Counter& c_solves = obs::counter("ilp.set_partition.solves");
+  static obs::Counter& c_nodes = obs::counter("ilp.set_partition.nodes");
+  static obs::Counter& c_prunes =
+      obs::counter("ilp.set_partition.bound_prunes");
+  static obs::Counter& c_budget =
+      obs::counter("ilp.set_partition.budget_hits");
+  static obs::Histogram& h_nodes =
+      obs::histogram("ilp.set_partition.nodes_per_solve");
+  c_solves.add(1);
+  c_nodes.add(search.nodes);
+  c_prunes.add(search.bound_prunes);
+  if (search.budget_hit) c_budget.add(1);
+  h_nodes.record(search.nodes);
   if (search.best_cost == std::numeric_limits<double>::infinity()) return result;
   result.feasible = true;
   result.objective = search.best_cost;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+
+#include "obs/counters.hpp"
 
 namespace mbrc::lp {
 
@@ -174,6 +177,7 @@ public:
     while (true) {
       if (++iterations > options_.max_iterations)
         return SolveStatus::kIterationLimit;
+      ++total_iterations_;
 
       const bool use_bland = stalls > 2 * total_cols_;
       const int entering = pick_entering(forbid_artificials, use_bland);
@@ -234,6 +238,9 @@ public:
 
   const std::vector<bool>& artificial_mask() const { return is_artificial_; }
   int total_columns() const { return total_cols_; }
+
+  /// Simplex loop iterations across both phases (the solver's unit of work).
+  std::int64_t iterations() const { return total_iterations_; }
 
 private:
   void compute_reduced_costs(const std::vector<double>& cost) {
@@ -300,6 +307,7 @@ private:
   }
 
   SimplexOptions options_;
+  std::int64_t total_iterations_ = 0;
   int structural_count_ = 0;
   double initial_infeasibility_ = 0.0;  // sum of |rhs| over artificial rows
   int total_cols_ = 0;
@@ -325,6 +333,21 @@ Solution solve_lp(const Model& model, const SimplexOptions& options) {
   Solution solution;
   const StandardForm sf = build_standard_form(model);
   Tableau tableau(sf, options);
+
+  // Flushes the solve's work counts on every exit path; counts, never wall
+  // time (DESIGN.md §11).
+  struct CounterFlush {
+    const Tableau& tableau;
+    ~CounterFlush() {
+      static obs::Counter& c_solves = obs::counter("lp.simplex.solves");
+      static obs::Counter& c_iters = obs::counter("lp.simplex.iterations");
+      static obs::Histogram& h_iters =
+          obs::histogram("lp.simplex.iterations_per_solve");
+      c_solves.add(1);
+      c_iters.add(tableau.iterations());
+      h_iters.record(tableau.iterations());
+    }
+  } counter_flush{tableau};
 
   // Phase 1: minimize the sum of artificials.
   bool needs_phase1 = false;

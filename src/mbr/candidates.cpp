@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "geom/convex_hull.hpp"
+#include "obs/counters.hpp"
 #include "util/assert.hpp"
 
 namespace mbrc::mbr {
@@ -286,6 +287,14 @@ EnumerationResult enumerate_candidates(const CompatibilityGraph& graph,
                         subgraph, {},     {},      {},
                         false,   {},     {}};
   enumerator.run();
+
+  static obs::Counter& c_calls = obs::counter("mbr.candidates.calls");
+  static obs::Counter& c_found = obs::counter("mbr.candidates.enumerated");
+  static obs::Histogram& h_per =
+      obs::histogram("mbr.candidates.per_subgraph");
+  c_calls.add(1);
+  c_found.add(static_cast<std::int64_t>(enumerator.result.candidates.size()));
+  h_per.record(static_cast<std::int64_t>(enumerator.result.candidates.size()));
   return std::move(enumerator.result);
 }
 

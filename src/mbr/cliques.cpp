@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdint>
 
+#include "obs/counters.hpp"
 #include "util/assert.hpp"
 
 namespace mbrc::mbr {
@@ -68,6 +69,16 @@ std::vector<std::vector<int>> maximal_cliques(const CompatibilityGraph& graph,
   BronKerbosch bk{adjacency, {}};
   const Mask all = n == 64 ? ~Mask{0} : (Mask{1} << n) - 1;
   bk.expand(0, all, 0);
+
+  // One flush per subgraph; runs concurrently on pool workers, but integer
+  // totals are scheduling-independent (DESIGN.md §11).
+  static obs::Counter& c_calls = obs::counter("mbr.cliques.calls");
+  static obs::Counter& c_found = obs::counter("mbr.cliques.enumerated");
+  static obs::Histogram& h_per =
+      obs::histogram("mbr.cliques.per_subgraph");
+  c_calls.add(1);
+  c_found.add(static_cast<std::int64_t>(bk.cliques.size()));
+  h_per.record(static_cast<std::int64_t>(bk.cliques.size()));
 
   std::vector<std::vector<int>> result;
   result.reserve(bk.cliques.size());

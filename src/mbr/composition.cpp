@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/assert.hpp"
 
@@ -62,6 +63,7 @@ CompositionPlan plan_composition(const netlist::Design& design,
   const std::vector<SubgraphOutcome> outcomes = runtime::parallel_transform(
       &runtime::ThreadPool::global(), options.jobs, subgraphs,
       [&](const std::vector<int>& subgraph) {
+        obs::Span span("plan.subgraph");
         SubgraphOutcome outcome;
         outcome.enumeration =
             enumerate_candidates(plan.graph, design.library(), blockers,

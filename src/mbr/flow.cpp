@@ -1,8 +1,10 @@
 #include "mbr/flow.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <future>
 
+#include "mbr/report.hpp"
 #include "sta/timing_engine.hpp"
 #include "util/assert.hpp"
 #include "util/stopwatch.hpp"
@@ -155,8 +157,13 @@ void size_new_mbrs(netlist::Design& design,
   }
 }
 
-FlowResult run_composition_flow(netlist::Design& design,
-                                const FlowOptions& options) {
+namespace {
+
+// The flow stages proper; run_composition_flow wraps this with the
+// observability envelope (tracer install, counter delta, report files).
+FlowResult run_flow_stages(netlist::Design& design,
+                           const FlowOptions& options) {
+  obs::Span flow_span("flow");
   util::Stopwatch total_clock;
   runtime::Metrics stage_metrics;
   FlowResult result;
@@ -345,6 +352,42 @@ FlowResult run_composition_flow(netlist::Design& design,
   guard("output", result.skew);
   result.total_seconds = total_clock.seconds();
   result.stages = stage_metrics.snapshot();
+  return result;
+}
+
+}  // namespace
+
+FlowResult run_composition_flow(netlist::Design& design,
+                                const FlowOptions& options) {
+  // Counter deltas bracket the stages so FlowResult::counters holds only
+  // this run's work, comparable across sequential runs and `jobs` values.
+  obs::Tracer tracer;
+  if (options.trace) {
+    tracer.install();
+    obs::Tracer::set_thread_label("flow");
+  }
+  const obs::CountersSnapshot counters_before = obs::counters_snapshot();
+
+  FlowResult result = run_flow_stages(design, options);
+
+  result.counters =
+      obs::counters_delta(counters_before, obs::counters_snapshot());
+  if (options.trace) {
+    // Every stage joined its parallel work, so all spans are closed and the
+    // buffers are quiescent — safe to collect.
+    tracer.uninstall();
+    result.trace = tracer.take();
+    if (!options.trace_path.empty()) {
+      std::ofstream os(options.trace_path);
+      MBRC_ASSERT_MSG(os.good(), "cannot open FlowOptions::trace_path");
+      obs::write_chrome_trace(os, result.trace);
+    }
+  }
+  if (!options.report_path.empty()) {
+    std::ofstream os(options.report_path);
+    MBRC_ASSERT_MSG(os.good(), "cannot open FlowOptions::report_path");
+    write_flow_report(os, options, result);
+  }
   return result;
 }
 

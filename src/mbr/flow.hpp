@@ -20,6 +20,8 @@
 #include "mbr/mapping.hpp"
 #include "mbr/placement.hpp"
 #include "mbr/rewire.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "place/legalizer.hpp"
 #include "route/congestion.hpp"
 #include "runtime/stage_timer.hpp"
@@ -67,6 +69,17 @@ struct FlowOptions {
   /// at each boundary. Violations throw util::AssertionError naming the
   /// first stage that broke an invariant.
   check::CheckLevel check_level = check::CheckLevel::kOff;
+  /// Observability (DESIGN.md §11): when true, an obs::Tracer is installed
+  /// for the duration of the run and FlowResult::trace holds the collected
+  /// spans. When false (the default) every span probe in the flow is a
+  /// single relaxed atomic load — zero-cost off.
+  bool trace = false;
+  /// When non-empty (and trace is on), the collected spans are also written
+  /// here as Chrome trace_event JSON (Perfetto / chrome://tracing).
+  std::string trace_path;
+  /// When non-empty, a machine-readable flow_report.json (Table-1 metrics,
+  /// stages, counters, options echo) is written here after the run.
+  std::string report_path;
 };
 
 /// The Table 1 measurement set for one design state.
@@ -108,6 +121,14 @@ struct FlowResult {
   /// Measurement only: stage timings vary run to run and are excluded from
   /// the deterministic-output contract.
   runtime::StageTable stages;
+  /// Work counts accumulated during this run (delta over the obs counter
+  /// registry: solver nodes, simplex iterations, repair-cone sizes, cliques
+  /// enumerated, ...). Deterministic output: bit-identical at any `jobs`
+  /// value (tests/parallel_flow_test.cpp).
+  obs::CountersSnapshot counters;
+  /// Collected spans when FlowOptions::trace was on; empty otherwise.
+  /// Wall-clock measurement only, like `stages`.
+  obs::TraceData trace;
   CompositionPlan plan;          // the accepted plan (for reporting)
 };
 

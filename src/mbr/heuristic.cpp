@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/assert.hpp"
 
@@ -68,6 +69,7 @@ CompositionPlan plan_composition_heuristic(const netlist::Design& design,
   std::vector<SubgraphOutcome> outcomes = runtime::parallel_transform(
       &runtime::ThreadPool::global(), options.jobs, subgraphs,
       [&](const std::vector<int>& subgraph) {
+    obs::Span span("plan.subgraph");
     SubgraphOutcome outcome;
     if (subgraph.empty()) return outcome;
     const auto widths = design.library().available_widths(

@@ -1,0 +1,116 @@
+#include "mbr/report.hpp"
+
+#include "mbr/flow.hpp"
+#include "obs/json.hpp"
+#include "util/assert.hpp"
+
+namespace mbrc::mbr {
+
+namespace {
+
+const char* allocator_name(Allocator allocator) {
+  switch (allocator) {
+    case Allocator::kIlp: return "ilp";
+    case Allocator::kHeuristic: return "heuristic";
+  }
+  return "unknown";
+}
+
+void write_metrics(obs::JsonWriter& w, const Metrics& m) {
+  w.begin_object()
+      .kv("cells", m.design.cells)
+      .kv("area", m.design.area)
+      .kv("total_registers", m.design.total_registers)
+      .kv("register_bits", m.design.register_bits)
+      .kv("composable_registers", m.composable_registers)
+      .kv("wns", m.wns)
+      .kv("tns", m.tns)
+      .kv("failing_endpoints", m.failing_endpoints)
+      .kv("total_endpoints", m.total_endpoints)
+      .kv("hold_wns", m.hold_wns)
+      .kv("failing_hold_endpoints", m.failing_hold_endpoints)
+      .kv("clock_buffers", m.clock_buffers)
+      .kv("clock_cap", m.clock_cap)
+      .kv("clock_power_uw", m.clock_power_uw)
+      .kv("leakage_nw", m.leakage_nw)
+      .kv("clock_wire", m.clock_wire)
+      .kv("signal_wire", m.signal_wire)
+      .kv("overflow_edges", m.overflow_edges)
+      .kv("max_congestion", m.max_congestion)
+      .end_object();
+}
+
+}  // namespace
+
+void write_flow_report(std::ostream& os, const FlowOptions& options,
+                       const FlowResult& result) {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", kFlowReportSchema);
+
+  w.key("options").begin_object();
+  w.kv("allocator", allocator_name(options.allocator))
+      .kv("jobs", options.jobs)
+      .kv("clock_period", options.timing.clock_period)
+      .kv("decompose_wide_mbrs", options.decompose_wide_mbrs)
+      .kv("apply_useful_skew", options.apply_useful_skew)
+      .kv("skew_only_new_mbrs", options.skew_only_new_mbrs)
+      .kv("size_new_mbrs", options.size_new_mbrs)
+      .kv("check_level", static_cast<int>(options.check_level))
+      .kv("trace", options.trace);
+  w.end_object();
+
+  w.key("table1").begin_object();
+  w.key("before");
+  write_metrics(w, result.before);
+  w.key("after");
+  write_metrics(w, result.after);
+  w.end_object();
+
+  w.key("flow").begin_object();
+  w.kv("mbrs_created", result.mbrs_created)
+      .kv("registers_merged", result.registers_merged)
+      .kv("rejected_at_mapping", result.rejected_at_mapping)
+      .kv("incomplete_mbrs", result.incomplete_mbrs)
+      .kv("skewed_registers", result.skew.size())
+      .kv("compose_seconds", result.compose_seconds)
+      .kv("total_seconds", result.total_seconds);
+  w.end_object();
+
+  w.key("stages").begin_object();
+  for (const auto& [name, s] : result.stages) {
+    w.key(name).begin_object();
+    w.kv("seconds", s.seconds).kv("calls", s.calls).kv("items", s.items);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : result.counters.counters)
+    w.kv(name, value);
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, hist] : result.counters.histograms) {
+    w.key(name).begin_object();
+    w.kv("count", hist.count).kv("sum", hist.sum);
+    w.key("buckets").begin_object();
+    for (const auto& [bucket, n] : hist.buckets)
+      w.kv(std::to_string(bucket), n);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("trace").begin_object();
+  w.kv("enabled", options.trace)
+      .kv("events", result.trace.events.size())
+      .kv("threads", result.trace.thread_names.size());
+  w.end_object();
+
+  w.end_object();
+  os << '\n';
+  MBRC_ASSERT_MSG(w.complete(), "flow report document left unbalanced");
+}
+
+}  // namespace mbrc::mbr

@@ -1,0 +1,142 @@
+#include "obs/counters.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/assert.hpp"
+
+namespace mbrc::obs {
+
+namespace {
+
+/// The global registry. Interning takes the exclusive lock only on first
+/// sight of a name; steady-state lookups share the lock and allocate
+/// nothing (heterogeneous string_view find). Entry addresses are stable
+/// (unique_ptr), so probe sites can cache references forever.
+template <class T>
+class Registry {
+public:
+  T& intern(std::string_view name) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      const auto it = entries_.find(name);
+      if (it != entries_.end()) return *it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto [it, inserted] =
+        entries_.try_emplace(std::string(name), nullptr);
+    if (inserted) it->second = std::make_unique<T>();
+    return *it->second;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const auto& [name, entry] : entries_) fn(name, *entry);
+  }
+
+private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<T>, std::less<>> entries_;
+};
+
+Registry<Counter>& counter_registry() {
+  static Registry<Counter> registry;
+  return registry;
+}
+
+Registry<Histogram>& histogram_registry() {
+  static Registry<Histogram> registry;
+  return registry;
+}
+
+}  // namespace
+
+int Histogram::bucket_of(std::int64_t value) {
+  MBRC_ASSERT_MSG(value >= 0, "Histogram records non-negative work counts");
+  return std::bit_width(static_cast<std::uint64_t>(value));
+}
+
+Counter& counter(std::string_view name) {
+  return counter_registry().intern(name);
+}
+
+Histogram& histogram(std::string_view name) {
+  return histogram_registry().intern(name);
+}
+
+CountersSnapshot counters_snapshot() {
+  CountersSnapshot snapshot;
+  counter_registry().for_each([&](const std::string& name, const Counter& c) {
+    snapshot.counters.emplace(name, c.value());
+  });
+  histogram_registry().for_each(
+      [&](const std::string& name, const Histogram& h) {
+        HistogramSnapshot hs;
+        hs.count = h.count();
+        hs.sum = h.sum();
+        for (int b = 0; b < Histogram::kBuckets; ++b)
+          if (const std::int64_t n = h.bucket(b); n != 0)
+            hs.buckets.emplace(b, n);
+        snapshot.histograms.emplace(name, std::move(hs));
+      });
+  return snapshot;
+}
+
+CountersSnapshot counters_delta(const CountersSnapshot& before,
+                                const CountersSnapshot& after) {
+  CountersSnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    const auto it = before.counters.find(name);
+    const std::int64_t prev = it == before.counters.end() ? 0 : it->second;
+    if (value != prev) delta.counters.emplace(name, value - prev);
+  }
+  for (const auto& [name, hist] : after.histograms) {
+    const auto it = before.histograms.find(name);
+    HistogramSnapshot d;
+    if (it == before.histograms.end()) {
+      d = hist;
+    } else {
+      d.count = hist.count - it->second.count;
+      d.sum = hist.sum - it->second.sum;
+      for (const auto& [bucket, n] : hist.buckets) {
+        const auto bit = it->second.buckets.find(bucket);
+        const std::int64_t prev =
+            bit == it->second.buckets.end() ? 0 : bit->second;
+        if (n != prev) d.buckets.emplace(bucket, n - prev);
+      }
+    }
+    if (d.count != 0 || !d.buckets.empty())
+      delta.histograms.emplace(name, std::move(d));
+  }
+  return delta;
+}
+
+std::string format_counters(const CountersSnapshot& snapshot) {
+  std::string out;
+  char line[192];
+  for (const auto& [name, value] : snapshot.counters) {
+    std::snprintf(line, sizeof(line), "%-40s %14lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    std::snprintf(line, sizeof(line),
+                  "%-40s count %10lld  sum %14lld  buckets", name.c_str(),
+                  static_cast<long long>(hist.count),
+                  static_cast<long long>(hist.sum));
+    out += line;
+    for (const auto& [bucket, n] : hist.buckets) {
+      std::snprintf(line, sizeof(line), " %d:%lld", bucket,
+                    static_cast<long long>(n));
+      out += line;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mbrc::obs

@@ -1,0 +1,161 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace mbrc::obs {
+
+void JsonWriter::newline_indent() {
+  if (indent_width_ <= 0) return;
+  os_ << '\n';
+  const int depth = static_cast<int>(stack_.size());
+  for (int i = 0; i < depth * indent_width_; ++i) os_ << ' ';
+}
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    // The separator already ran when the key was written.
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) {
+    MBRC_ASSERT_MSG(!wrote_top_level_,
+                    "JsonWriter: a document has exactly one top-level value");
+    return;
+  }
+  Level& level = stack_.back();
+  MBRC_ASSERT_MSG(level.is_array,
+                  "JsonWriter: object members need key() before value()");
+  if (level.has_member) os_ << ',';
+  level.has_member = true;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  stack_.push_back({/*is_array=*/false, /*has_member=*/false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MBRC_ASSERT_MSG(!stack_.empty() && !stack_.back().is_array &&
+                      !pending_key_,
+                  "JsonWriter: unbalanced end_object");
+  const bool had_members = stack_.back().has_member;
+  stack_.pop_back();
+  if (had_members) newline_indent();
+  os_ << '}';
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  stack_.push_back({/*is_array=*/true, /*has_member=*/false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MBRC_ASSERT_MSG(!stack_.empty() && stack_.back().is_array,
+                  "JsonWriter: unbalanced end_array");
+  const bool had_members = stack_.back().has_member;
+  stack_.pop_back();
+  if (had_members) newline_indent();
+  os_ << ']';
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  MBRC_ASSERT_MSG(!stack_.empty() && !stack_.back().is_array && !pending_key_,
+                  "JsonWriter: key() is only valid inside an object");
+  Level& level = stack_.back();
+  if (level.has_member) os_ << ',';
+  level.has_member = true;
+  newline_indent();
+  // Compact mode (indent 0) drops the space after the colon: the trace
+  // export writes one object per span and the bytes add up.
+  os_ << '"' << escape(name) << (indent_width_ > 0 ? "\": " : "\":");
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  separate();
+  os_ << '"' << escape(s) << '"';
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no NaN/Inf
+  } else {
+    // Shortest representation that round-trips a double.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lg", &parsed);
+    if (parsed == v) {
+      for (int precision = 1; precision < 17; ++precision) {
+        char probe[32];
+        std::snprintf(probe, sizeof(probe), "%.*g", precision, v);
+        std::sscanf(probe, "%lg", &parsed);
+        if (parsed == v) {
+          std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+          break;
+        }
+      }
+    }
+    os_ << buf;
+  }
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  os_ << v;
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+  if (stack_.empty()) wrote_top_level_ = true;
+  return *this;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace mbrc::obs

@@ -1,0 +1,79 @@
+// Minimal streaming JSON writer shared by every machine-readable emitter in
+// the project: the Chrome-trace export, the flow run report
+// (flow_report.json) and the BENCH_*.json bench outputs.
+//
+// Scope: write-only, no DOM. The writer keeps a nesting stack and inserts
+// commas/indentation, so call sites read like the document they produce and
+// cannot emit mismatched separators. Strings are escaped per RFC 8259;
+// non-finite doubles (which JSON cannot represent) are emitted as null.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbrc::obs {
+
+class JsonWriter {
+public:
+  /// Writes into `os` (which must outlive the writer). `indent_width` of 0
+  /// produces compact single-line output.
+  explicit JsonWriter(std::ostream& os, int indent_width = 2)
+      : os_(os), indent_width_(indent_width) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value (or
+  /// begin_object / begin_array).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::size_t v) {
+    return value(static_cast<std::int64_t>(v));
+  }
+  JsonWriter& value(bool v);
+
+  /// key + value in one call.
+  template <class T>
+  JsonWriter& kv(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  /// True once every begin_* has been matched by its end_* and a top-level
+  /// value was written (i.e. the document is complete).
+  bool complete() const { return stack_.empty() && wrote_top_level_; }
+
+  static std::string escape(std::string_view s);
+
+private:
+  struct Level {
+    bool is_array = false;
+    bool has_member = false;
+  };
+
+  /// Emits the separator (comma, newline, indent) owed before the next key
+  /// or array element.
+  void separate();
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_width_;
+  std::vector<Level> stack_;
+  bool pending_key_ = false;
+  bool wrote_top_level_ = false;
+};
+
+}  // namespace mbrc::obs

@@ -1,0 +1,40 @@
+#include "obs/stage_store.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace mbrc::obs {
+
+std::string format_stage_table(const StageTable& stats) {
+  std::string out;
+  char line[160];
+  for (const auto& [name, s] : stats) {
+    std::snprintf(line, sizeof(line),
+                  "%-24s %6lld calls %10lld items %9.3f s\n", name.c_str(),
+                  static_cast<long long>(s.calls),
+                  static_cast<long long>(s.items), s.seconds);
+    out += line;
+  }
+  return out;
+}
+
+StageStore::Slot& StageStore::slot(std::string_view stage) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = slots_.find(stage);
+    if (it != slots_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto [it, inserted] = slots_.try_emplace(std::string(stage), nullptr);
+  if (inserted) it->second = std::make_unique<Slot>();
+  return *it->second;
+}
+
+StageTable StageStore::snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  StageTable table;
+  for (const auto& [name, slot] : slots_) table.emplace(name, slot->stats());
+  return table;
+}
+
+}  // namespace mbrc::obs

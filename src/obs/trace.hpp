@@ -1,0 +1,139 @@
+// Hierarchical span tracer with Chrome trace_event export.
+//
+// One Tracer is installed for the duration of a traced flow run; `Span`
+// probes throughout the codebase then record named, nested wall-clock
+// intervals into per-thread buffers (lock-free on the recording path — each
+// buffer is written only by its owning thread). The result loads in
+// Perfetto / chrome://tracing.
+//
+// Zero-cost when off: with no tracer installed, constructing a Span is a
+// single relaxed-failure atomic load and no clock read. Span durations are
+// wall time and therefore *measurement, not output* — the mbrc-lint R6 rule
+// enforces that they never feed flow results (DESIGN.md §11).
+//
+// Lifecycle contract: install() -> record spans -> join all worker activity
+// -> uninstall() -> take(). The caller must quiesce every thread that
+// recorded spans before uninstall(); the flow driver satisfies this because
+// run_composition_flow joins all pool work before it finishes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbrc::obs {
+
+/// One closed span. `start_us`/`dur_us` are microseconds relative to the
+/// tracer's install time; `depth` is the nesting depth on its thread (0 =
+/// top level), recorded so tests can assert well-nestedness exactly.
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;
+  int depth = 0;
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+};
+
+/// Everything a finished trace holds: events in per-thread completion order
+/// (children complete before their parents) plus thread labels.
+struct TraceData {
+  std::vector<TraceEvent> events;
+  std::map<std::uint32_t, std::string> thread_names;
+
+  bool empty() const { return events.empty(); }
+};
+
+namespace detail {
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::string label;
+  std::vector<TraceEvent> events;  // written only by the owning thread
+  int depth = 0;                   // currently open spans on that thread
+};
+}  // namespace detail
+
+class Tracer {
+public:
+  Tracer() = default;
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Makes this tracer the process-wide active one and starts its clock.
+  /// At most one tracer may be active at a time.
+  void install();
+
+  /// Stops collection. Every span must be closed and every recording
+  /// thread quiesced before this is called.
+  void uninstall();
+
+  /// Moves the collected events out. Only valid after uninstall().
+  TraceData take();
+
+  /// The active tracer, or nullptr. This is the whole cost of a Span when
+  /// tracing is off.
+  static Tracer* active() {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Labels the calling thread in the exported trace (e.g. "worker-3").
+  /// No-op when no tracer is active.
+  static void set_thread_label(std::string_view label);
+
+private:
+  friend class Span;
+
+  /// The calling thread's buffer under this tracer, registering it on
+  /// first use. The returned pointer is owned by the tracer and written
+  /// only by the calling thread.
+  detail::ThreadBuffer* local_buffer();
+
+  std::int64_t now_us() const;
+
+  static std::atomic<Tracer*> active_;
+
+  std::uint64_t generation_ = 0;
+  std::int64_t epoch_ns_ = 0;
+  bool installed_ = false;
+  std::mutex mutex_;  // guards buffer registration, not event appends
+  std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers_;
+};
+
+/// RAII span probe. Construct at the top of the region to measure; the
+/// span closes (and the event is appended) at scope exit.
+class Span {
+public:
+  explicit Span(std::string_view name) {
+    if (Tracer* t = Tracer::active()) begin(t, name);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (tracer_ != nullptr) end();
+  }
+
+private:
+  void begin(Tracer* tracer, std::string_view name);
+  void end();
+
+  Tracer* tracer_ = nullptr;
+  detail::ThreadBuffer* buffer_ = nullptr;
+  std::string name_;
+  std::int64_t start_us_ = 0;
+  int depth_ = 0;
+};
+
+/// Writes `trace` as Chrome trace_event JSON ("X" complete events plus
+/// thread_name metadata), loadable in Perfetto / chrome://tracing.
+void write_chrome_trace(std::ostream& os, const TraceData& trace);
+
+}  // namespace mbrc::obs

@@ -2,65 +2,53 @@
 //
 // A Metrics registry collects named StageStats counters (wall seconds,
 // invocation count, item count); StageTimer is the RAII probe that records
-// one timed section into it. The registry is thread-safe so stages running
-// on pool workers can record concurrently, but note that wall-clock values
-// are measurement, not output: flow results compared across thread counts
-// exclude them (see DESIGN.md, "Parallel runtime").
+// one timed section into it. Both are now thin views over the obs layer:
+// Metrics wraps an obs::StageStore (interned stage slots, lock-free
+// accumulation — probes in parallel stages neither serialize nor allocate),
+// and StageTimer additionally opens an obs::Span so traced runs see every
+// stage in the Chrome-trace timeline.
+//
+// Wall-clock values are measurement, not output: flow results compared
+// across thread counts exclude them (see DESIGN.md §11); the deterministic
+// work counts live in obs/counters.hpp.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "obs/stage_store.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mbrc::runtime {
 
-struct StageStats {
-  double seconds = 0.0;     // accumulated wall time
-  std::int64_t calls = 0;   // timed sections recorded
-  std::int64_t items = 0;   // stage-defined work units (subgraphs, pins, ...)
-};
-
-/// Snapshot type handed to flow results: plain data, freely copyable.
-using StageTable = std::map<std::string, StageStats, std::less<>>;
-
-/// Formats a snapshot as one line per stage (name, calls, items, seconds),
-/// in name order.
-std::string format_stage_table(const StageTable& stats);
+using StageStats = obs::StageStats;
+using StageTable = obs::StageTable;
+using obs::format_stage_table;
 
 class Metrics {
 public:
   void record(std::string_view stage, double seconds, std::int64_t items = 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    StageStats& s = stats_[std::string(stage)];
-    s.seconds += seconds;
-    s.calls += 1;
-    s.items += items;
+    store_.slot(stage).record(seconds, items);
   }
 
-  StageTable snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
-  }
+  StageTable snapshot() const { return store_.snapshot(); }
 
   /// Formatted per-stage report (name, calls, items, seconds), one line per
   /// stage in name order.
-  std::string report() const;
+  std::string report() const { return store_.report(); }
 
 private:
-  mutable std::mutex mutex_;
-  StageTable stats_;
+  obs::StageStore store_;
 };
 
-/// RAII stage probe: times its scope and records into the registry on
-/// destruction (or earlier via stop()).
+/// RAII stage probe: times its scope, records into the registry on
+/// destruction (or earlier via stop()), and spans the scope in the trace.
 class StageTimer {
 public:
   StageTimer(Metrics& metrics, std::string_view stage)
-      : metrics_(&metrics), stage_(stage) {}
+      : metrics_(&metrics), stage_(stage), span_(stage) {}
 
   StageTimer(const StageTimer&) = delete;
   StageTimer& operator=(const StageTimer&) = delete;
@@ -70,7 +58,8 @@ public:
   /// Attributes `count` work units to this section.
   void add_items(std::int64_t count) { items_ += count; }
 
-  /// Records now instead of at scope exit; idempotent.
+  /// Records now instead of at scope exit; idempotent. The trace span still
+  /// closes at scope exit.
   void stop() {
     if (metrics_ == nullptr) return;
     metrics_->record(stage_, clock_.seconds(), items_);
@@ -81,6 +70,7 @@ private:
   Metrics* metrics_;
   std::string stage_;
   std::int64_t items_ = 0;
+  obs::Span span_;
   util::Stopwatch clock_;
 };
 

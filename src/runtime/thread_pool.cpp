@@ -1,6 +1,9 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace mbrc::runtime {
 
@@ -16,6 +19,17 @@ struct WorkerContext {
 thread_local WorkerContext tls_worker;
 
 }  // namespace
+
+namespace detail {
+
+void label_worker_for_trace() {
+  if (obs::Tracer::active() == nullptr) return;
+  if (tls_worker.pool == nullptr) return;  // a non-worker thread helping out
+  obs::Tracer::set_thread_label("worker-" +
+                                std::to_string(tls_worker.index));
+}
+
+}  // namespace detail
 
 int default_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();

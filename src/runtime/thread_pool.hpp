@@ -30,6 +30,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace mbrc::runtime {
 
 /// Default parallelism for flow-level knobs: the hardware thread count
@@ -127,6 +129,10 @@ struct ForState {
   std::condition_variable done;
 };
 
+/// Labels the calling pool-worker thread in the active trace ("worker-N").
+/// One relaxed atomic load when no tracer is installed.
+void label_worker_for_trace();
+
 }  // namespace detail
 
 /// Runs `fn(i)` for i in [0, count) across up to `jobs` threads (the caller
@@ -144,6 +150,8 @@ void parallel_for(ThreadPool* pool, int jobs, std::size_t count,
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+
+  obs::Span region_span("parallel_for");
 
   auto state = std::make_shared<detail::ForState>();
   state->count = count;
@@ -173,7 +181,11 @@ void parallel_for(ThreadPool* pool, int jobs, std::size_t count,
   state->live_helpers.store(helpers);
   for (int h = 0; h < helpers; ++h) {
     pool->submit([state, run_chunks] {
-      run_chunks(*state);
+      {
+        detail::label_worker_for_trace();
+        obs::Span worker_span("parallel_for.worker");
+        run_chunks(*state);
+      }
       if (state->live_helpers.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> lock(state->done_mutex);
         state->done.notify_all();

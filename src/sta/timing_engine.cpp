@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/assert.hpp"
 
@@ -347,7 +349,13 @@ void TimingEngine::full_build() {
 }
 
 const TimingReport& TimingEngine::update(const SkewMap& skew) {
+  static obs::Counter& c_full = obs::counter("sta.engine.full_builds");
+  static obs::Counter& c_inc = obs::counter("sta.engine.incremental_updates");
+  static obs::Counter& c_early = obs::counter("sta.engine.early_stops");
+  static obs::Histogram& h_cone = obs::histogram("sta.engine.repaired_pins");
+
   if (!built_ || design_.topology_version() != seen_topology_) {
+    obs::Span span("sta.full_build");
     current_skew_ = skew;
     full_build();
     built_ = true;
@@ -355,9 +363,12 @@ const TimingReport& TimingEngine::update(const SkewMap& skew) {
     journal_cursor_ = design_.touched_cells().size();
     ++stats_.full_builds;
     stats_.last_repaired_pins = 0;
+    c_full.add(1);
     return report_;
   }
 
+  obs::Span span("sta.repair");
+  const std::uint64_t early_before = stats_.early_stops;
   begin_epoch();
   apply_skew_diff(skew);
   const auto& journal = design_.touched_cells();
@@ -368,6 +379,9 @@ const TimingReport& TimingEngine::update(const SkewMap& skew) {
   refresh_endpoints();
   repair_backward();
   ++stats_.incremental_updates;
+  c_inc.add(1);
+  c_early.add(static_cast<std::int64_t>(stats_.early_stops - early_before));
+  h_cone.record(static_cast<std::int64_t>(stats_.last_repaired_pins));
   return report_;
 }
 
@@ -528,6 +542,8 @@ void TimingEngine::apply_skew_diff(const SkewMap& skew) {
 void TimingEngine::repair_forward() {
   auto& arrival = report_.arrival;
   auto& arrival_min = report_.arrival_min;
+  std::size_t repaired = 0;
+  std::uint64_t early = 0;
   for (std::int32_t level = fwd_lo_; level <= fwd_hi_; ++level) {
     auto& bucket = fwd_bucket_[level];
     for (std::size_t k = 0; k < bucket.size(); ++k) {
@@ -541,8 +557,11 @@ void TimingEngine::repair_forward() {
         if (pa_min != kNoRequired)
           a_min = std::min(a_min, pa_min + pred_delay_[e]);
       }
-      ++stats_.last_repaired_pins;
-      if (a == arrival[pin] && a_min == arrival_min[pin]) continue;
+      ++repaired;
+      if (a == arrival[pin] && a_min == arrival_min[pin]) {
+        ++early;
+        continue;
+      }
       arrival[pin] = a;
       arrival_min[pin] = a_min;
       if (endpoint_slot_[pin] >= 0) mark_endpoint(pin);
@@ -551,6 +570,8 @@ void TimingEngine::repair_forward() {
     }
     bucket.clear();
   }
+  stats_.last_repaired_pins += repaired;
+  stats_.early_stops += early;
 }
 
 // Mirror image of repair_forward: required times, descending levels,
@@ -558,6 +579,8 @@ void TimingEngine::repair_forward() {
 void TimingEngine::repair_backward() {
   auto& required = report_.required;
   auto& req_min = report_.required_min;
+  std::size_t repaired = 0;
+  std::uint64_t early = 0;
   for (std::int32_t level = bwd_hi_; level >= bwd_lo_; --level) {
     auto& bucket = bwd_bucket_[level];
     for (std::size_t k = 0; k < bucket.size(); ++k) {
@@ -571,8 +594,11 @@ void TimingEngine::repair_backward() {
         if (req_min[succ] != kNoArrival)
           r_min = std::max(r_min, req_min[succ] - succ_delay_[e]);
       }
-      ++stats_.last_repaired_pins;
-      if (r == required[pin] && r_min == req_min[pin]) continue;
+      ++repaired;
+      if (r == required[pin] && r_min == req_min[pin]) {
+        ++early;
+        continue;
+      }
       required[pin] = r;
       req_min[pin] = r_min;
       for (int e = pred_offset_[pin]; e < pred_offset_[pin + 1]; ++e)
@@ -580,6 +606,8 @@ void TimingEngine::repair_backward() {
     }
     bucket.clear();
   }
+  stats_.last_repaired_pins += repaired;
+  stats_.early_stops += early;
 }
 
 void TimingEngine::refresh_endpoints() {

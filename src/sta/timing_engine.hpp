@@ -54,10 +54,15 @@ public:
   const TimingOptions& options() const { return options_; }
   const netlist::Design& design() const { return design_; }
 
-  /// Observability for tests and benches.
+  /// Observability for tests and benches. The same quantities flow into
+  /// the process-wide obs counter registry (sta.engine.*) once per
+  /// update(), so traced runs and the flow report see them too.
   struct Stats {
     std::uint64_t full_builds = 0;
     std::uint64_t incremental_updates = 0;
+    /// Repair visits that found the recomputed value equal to the cached
+    /// one and stopped expanding the cone (cumulative).
+    std::uint64_t early_stops = 0;
     /// Pins re-gathered by the last incremental repair (0 after a full
     /// build); the dirty-cone size, the engine's unit of work.
     std::size_t last_repaired_pins = 0;

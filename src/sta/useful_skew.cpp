@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "obs/counters.hpp"
 #include "sta/timing_engine.hpp"
 #include "util/assert.hpp"
 
@@ -96,6 +97,11 @@ UsefulSkewResult optimize_useful_skew(
   }
 
   result.report = *report;
+
+  static obs::Counter& c_calls = obs::counter("sta.useful_skew.calls");
+  static obs::Counter& c_iters = obs::counter("sta.useful_skew.iterations");
+  c_calls.add(1);
+  c_iters.add(static_cast<std::int64_t>(result.iterations_run));
   return result;
 }
 

@@ -1,4 +1,4 @@
-// mbrc-lint rule-engine tests: each R1-R5 rule is exercised against fixture
+// mbrc-lint rule-engine tests: each R1-R6 rule is exercised against fixture
 // sources with planted violations (and near-miss negatives), plus the
 // suppression-comment contract and the baseline match/stale behavior. The
 // fixtures are in-memory SourceFiles, so these tests pin down the scanner's
@@ -252,6 +252,125 @@ TEST(LintR3, MemberNamedRandIsNotFlagged) {
   EXPECT_TRUE(lint_one("int f(Rng& r) { return r.rand(); }\n")
                   .active()
                   .empty());
+}
+
+// --- R3 clock scoping: wall-clock reads outside the observability layer ----
+
+TEST(LintR3Clock, SteadyClockOutsideSanctionedFilesIsFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/mbr/flow.cpp",
+       "void f() { auto t = std::chrono::steady_clock::now(); }\n"}};
+  const auto result = run_lint(files, {}, {});
+  ASSERT_EQ(result.active().size(), 1u);
+  EXPECT_EQ(result.active()[0]->rule, "R3");
+  EXPECT_NE(result.active()[0]->message.find("steady_clock"),
+            std::string::npos);
+}
+
+TEST(LintR3Clock, PosixClockCallsAreFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/sta/engine.cpp",
+       R"(
+         void f(timespec* ts, timeval* tv) {
+           clock_gettime(CLOCK_MONOTONIC, ts);
+           gettimeofday(tv, nullptr);
+         }
+       )"}};
+  const auto result = run_lint(files, {}, {});
+  EXPECT_EQ(result.active().size(), 2u);
+  for (const Finding* f : result.active()) EXPECT_EQ(f->rule, "R3");
+}
+
+TEST(LintR3Clock, SanctionedMeasurementFilesAreExempt) {
+  const std::vector<SourceFile> files = {
+      {"src/obs/trace.cpp",
+       "long now() { return std::chrono::steady_clock::now()"
+       ".time_since_epoch().count(); }\n"},
+      {"src/runtime/stage_timer.hpp",
+       "using Clock = std::chrono::steady_clock;\n"},
+      {"src/util/stopwatch.hpp",
+       "using Clock = std::chrono::steady_clock;\n"}};
+  EXPECT_TRUE(run_lint(files, {}, {}).active().empty());
+}
+
+TEST(LintR3Clock, DurationConstructorsAreNotClockReads) {
+  // std::chrono::seconds(0) / microseconds(200) name spans of time, not
+  // reads of the clock (the thread pool's condvar waits use them).
+  const std::vector<SourceFile> files = {
+      {"src/runtime/thread_pool.hpp",
+       "void f() { wait_for(std::chrono::microseconds(200)); "
+       "wait_for(std::chrono::seconds(0)); }\n"}};
+  EXPECT_TRUE(run_lint(files, {}, {}).active().empty());
+}
+
+// --- R6: wall-clock values feeding flow decisions --------------------------
+
+TEST(LintR6, StopwatchComparisonIsFlagged) {
+  const auto result = lint_one(R"(
+    bool over_budget() {
+      util::Stopwatch clock;
+      return clock.seconds() > 0.5;
+    }
+  )");
+  ASSERT_EQ(active_rules(result), std::vector<std::string>{"R6"});
+  EXPECT_NE(result.findings[0].message.find("clock"), std::string::npos);
+}
+
+TEST(LintR6, TimingVariableComparisonIsFlagged) {
+  const auto result = lint_one(R"(
+    void f(std::vector<int>& out) {
+      util::Stopwatch clock;
+      double elapsed = clock.seconds();
+      if (elapsed > 1.0) out.push_back(1);
+    }
+  )");
+  ASSERT_EQ(active_rules(result), std::vector<std::string>{"R6"});
+  EXPECT_NE(result.findings[0].message.find("elapsed"), std::string::npos);
+}
+
+TEST(LintR6, ComparisonOnRightHandSideIsFlagged) {
+  const auto result = lint_one(R"(
+    bool f() {
+      util::Stopwatch clock;
+      return 0.5 < clock.seconds();
+    }
+  )");
+  ASSERT_EQ(active_rules(result), std::vector<std::string>{"R6"});
+}
+
+TEST(LintR6, RecordingIntoReportFieldIsNotFlagged) {
+  // The sanctioned pattern: timings flow *into* reports, never into
+  // decisions.
+  const auto result = lint_one(R"(
+    void f(FlowResult& result) {
+      util::Stopwatch total_clock;
+      result.total_seconds = total_clock.seconds();
+    }
+  )");
+  EXPECT_TRUE(result.active().empty());
+}
+
+TEST(LintR6, ObservabilityLayerIsExempt) {
+  const std::vector<SourceFile> files = {
+      {"src/obs/stage_store.cpp",
+       R"(
+         bool slow(util::Stopwatch& clock) {
+           return clock.seconds() > 1.0;
+         }
+       )"}};
+  EXPECT_TRUE(run_lint(files, {}, {}).active().empty());
+}
+
+TEST(LintR6, NonTimingDoubleComparisonIsNotFlagged) {
+  // A stopwatch in scope must not taint unrelated comparisons.
+  const auto result = lint_one(R"(
+    bool f(double slack) {
+      util::Stopwatch clock;
+      double best = slack;
+      return best > 0.0;
+    }
+  )");
+  EXPECT_TRUE(result.active().empty());
 }
 
 // --- R4: crossing typed id spaces ------------------------------------------

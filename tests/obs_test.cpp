@@ -1,0 +1,330 @@
+// Observability layer tests: the JSON writer's structure and formatting
+// guarantees, counter/histogram registry semantics (interning, snapshots,
+// deltas), the StageStore accounting, and the span tracer's lifecycle and
+// well-nestedness contract -- including a multi-thread stress run that the
+// CI thread-sanitizer job executes to pin down the lock-free recording
+// path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "obs/stage_store.hpp"
+#include "obs/trace.hpp"
+
+namespace mbrc::obs {
+namespace {
+
+// --- JsonWriter ------------------------------------------------------------
+
+TEST(JsonWriter, CompactObjectWithNestedArray) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("name", "flow").kv("jobs", 4).kv("on", true);
+  w.key("xs").begin_array().value(1).value(2).end_array();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), R"({"name":"flow","jobs":4,"on":true,"xs":[1,2]})");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, DoublesUseShortestRoundTrip) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_array();
+  w.value(0.1).value(1.0).value(2.5);
+  w.end_array();
+  EXPECT_EQ(os.str(), "[0.1,1,2.5]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonWriter, CompleteOnlyAfterTopLevelCloses) {
+  std::ostringstream os;
+  JsonWriter w(os, 2);
+  EXPECT_FALSE(w.complete());
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+}
+
+// --- Counter / Histogram registry ------------------------------------------
+
+TEST(Counters, InterningReturnsStableReference) {
+  Counter& a = counter("obs_test.intern");
+  Counter& b = counter("obs_test.intern");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(2);
+  EXPECT_EQ(a.value(), 5);
+}
+
+TEST(Counters, HistogramBucketsArePowersOfTwo) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(7), 3);
+  EXPECT_EQ(Histogram::bucket_of(8), 4);
+
+  Histogram h;
+  for (std::int64_t v : {0, 1, 2, 3, 4, 7, 8}) h.record(v);
+  EXPECT_EQ(h.count(), 7);
+  EXPECT_EQ(h.sum(), 25);
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.bucket(2), 2);
+  EXPECT_EQ(h.bucket(3), 2);
+}
+
+TEST(Counters, DeltaContainsOnlyTouchedEntries) {
+  const CountersSnapshot before = counters_snapshot();
+  counter("obs_test.delta.c").add(7);
+  histogram("obs_test.delta.h").record(5);
+  const CountersSnapshot delta =
+      counters_delta(before, counters_snapshot());
+
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters.at("obs_test.delta.c"), 7);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  const HistogramSnapshot& h = delta.histograms.at("obs_test.delta.h");
+  EXPECT_EQ(h.count, 1);
+  EXPECT_EQ(h.sum, 5);
+  EXPECT_EQ(h.buckets, (std::map<int, std::int64_t>{{3, 1}}));
+}
+
+TEST(Counters, SnapshotsCompareByValue) {
+  const CountersSnapshot before = counters_snapshot();
+  counter("obs_test.eq.c").add(1);
+  const CountersSnapshot a = counters_delta(before, counters_snapshot());
+  CountersSnapshot b = a;
+  EXPECT_EQ(a, b);
+  b.counters["obs_test.eq.c"] = 2;
+  EXPECT_NE(a, b);
+}
+
+TEST(Counters, FormatListsEntriesInNameOrder) {
+  CountersSnapshot s;
+  s.counters["b.second"] = 2;
+  s.counters["a.first"] = 1;
+  const std::string text = format_counters(s);
+  const std::size_t first = text.find("a.first");
+  const std::size_t second = text.find("b.second");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+}
+
+// --- StageStore ------------------------------------------------------------
+
+TEST(StageStoreTest, SlotsInternAndAccumulate) {
+  StageStore store;
+  StageStore::Slot& s = store.slot("compose");
+  EXPECT_EQ(&s, &store.slot("compose"));
+  s.record(0.5, 10);
+  s.record(0.25, 6);
+  const StageTable table = store.snapshot();
+  ASSERT_TRUE(table.contains("compose"));
+  EXPECT_DOUBLE_EQ(table.at("compose").seconds, 0.75);
+  EXPECT_EQ(table.at("compose").calls, 2);
+  EXPECT_EQ(table.at("compose").items, 16);
+  EXPECT_NE(store.report().find("compose"), std::string::npos);
+}
+
+// --- Tracer / Span ---------------------------------------------------------
+
+/// Asserts the per-thread completion-ordered event sequence is well-nested:
+/// every deeper event is contained in the parent that completes after it,
+/// nesting depth never skips a level, and whatever remains unparented is
+/// top-level.
+void check_well_nested(const std::vector<TraceEvent>& seq) {
+  std::vector<TraceEvent> pending;
+  for (const TraceEvent& e : seq) {
+    while (!pending.empty() && pending.back().depth > e.depth) {
+      const TraceEvent child = pending.back();
+      pending.pop_back();
+      ASSERT_EQ(child.depth, e.depth + 1)
+          << "nesting skips a level under '" << e.name << "'";
+      EXPECT_LE(e.start_us, child.start_us)
+          << "'" << child.name << "' starts before parent '" << e.name << "'";
+      EXPECT_GE(e.start_us + e.dur_us, child.start_us + child.dur_us)
+          << "'" << child.name << "' outlives parent '" << e.name << "'";
+    }
+    pending.push_back(e);
+  }
+  for (const TraceEvent& e : pending)
+    EXPECT_EQ(e.depth, 0) << "'" << e.name << "' never got a parent";
+}
+
+TEST(Trace, SpanWithoutTracerIsANoOp) {
+  ASSERT_EQ(Tracer::active(), nullptr);
+  {
+    Span a("untraced");
+    Span b("also-untraced");
+  }
+  EXPECT_EQ(Tracer::active(), nullptr);
+}
+
+TEST(Trace, CollectsNestedSpansWithDepths) {
+  Tracer tracer;
+  tracer.install();
+  Tracer::set_thread_label("test-main");
+  {
+    Span outer("outer");
+    { Span inner("inner"); }
+  }
+  tracer.uninstall();
+  const TraceData data = tracer.take();
+
+  ASSERT_EQ(data.events.size(), 2u);
+  // Completion order: children before parents.
+  EXPECT_EQ(data.events[0].name, "inner");
+  EXPECT_EQ(data.events[0].depth, 1);
+  EXPECT_EQ(data.events[1].name, "outer");
+  EXPECT_EQ(data.events[1].depth, 0);
+  EXPECT_EQ(data.events[0].tid, data.events[1].tid);
+  check_well_nested(data.events);
+
+  ASSERT_EQ(data.thread_names.size(), 1u);
+  EXPECT_EQ(data.thread_names.begin()->second, "test-main");
+}
+
+TEST(Trace, SecondTracerDoesNotInheritEvents) {
+  {
+    Tracer first;
+    first.install();
+    { Span s("first-only"); }
+    first.uninstall();
+    EXPECT_EQ(first.take().events.size(), 1u);
+  }
+  Tracer second;
+  second.install();
+  { Span s("second-only"); }
+  second.uninstall();
+  const TraceData data = second.take();
+  ASSERT_EQ(data.events.size(), 1u);
+  EXPECT_EQ(data.events[0].name, "second-only");
+}
+
+TEST(Trace, ConcurrentSpansFromManyThreadsAreWellNested) {
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 50;
+
+  Tracer tracer;
+  tracer.install();
+  std::atomic<int> started{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Tracer::set_thread_label("stress-" + std::to_string(t));
+      started.fetch_add(1);
+      while (started.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kIterations; ++i) {
+        Span a("level0");
+        Span b("level1");
+        Span c("level2");
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  tracer.uninstall();
+  const TraceData data = tracer.take();
+
+  EXPECT_EQ(data.events.size(),
+            static_cast<std::size_t>(kThreads * kIterations * 3));
+  EXPECT_EQ(data.thread_names.size(), static_cast<std::size_t>(kThreads));
+
+  std::map<std::uint32_t, std::vector<TraceEvent>> by_tid;
+  for (const TraceEvent& e : data.events) by_tid[e.tid].push_back(e);
+  EXPECT_EQ(by_tid.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tid, seq] : by_tid) {
+    EXPECT_EQ(seq.size(), static_cast<std::size_t>(kIterations * 3));
+    check_well_nested(seq);
+  }
+}
+
+// --- Chrome trace export ---------------------------------------------------
+
+/// Structural JSON validation: balanced braces/brackets outside strings and
+/// a single top-level value. (CI additionally parses the real artifacts
+/// with python3 -m json.tool.)
+bool structurally_valid_json(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false, escaped = false, saw_top = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) escaped = false;
+      else if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': stack.push_back(c); saw_top = true; break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return stack.empty() && !in_string && saw_top;
+}
+
+TEST(Trace, ChromeExportIsStructurallyValidJson) {
+  Tracer tracer;
+  tracer.install();
+  Tracer::set_thread_label("exporter \"main\"");  // exercises escaping
+  {
+    Span outer("outer");
+    { Span inner("inner/with:punct"); }
+  }
+  tracer.uninstall();
+
+  std::ostringstream os;
+  write_chrome_trace(os, tracer.take());
+  const std::string text = os.str();
+
+  EXPECT_TRUE(structurally_valid_json(text)) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("thread_name"), std::string::npos);
+  EXPECT_NE(text.find("exporter \\\"main\\\""), std::string::npos);
+}
+
+TEST(Trace, EmptyTraceStillExportsValidDocument) {
+  std::ostringstream os;
+  write_chrome_trace(os, TraceData{});
+  EXPECT_TRUE(structurally_valid_json(os.str())) << os.str();
+}
+
+}  // namespace
+}  // namespace mbrc::obs

@@ -1,13 +1,17 @@
 // The parallel runtime's determinism contract at flow level: running the
 // full composition flow with jobs = 1 (the serial reference path), 4 and 8
-// produces the identical CompositionPlan and bit-identical Metrics.
+// produces the identical CompositionPlan, bit-identical Metrics and a
+// bit-identical work-counter snapshot (DESIGN.md §11).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "benchgen/generator.hpp"
 #include "mbr/flow.hpp"
+#include "obs/counters.hpp"
 
 namespace mbrc {
 namespace {
@@ -121,6 +125,63 @@ TEST(ParallelFlow, HeuristicFlowIsBitIdenticalAcrossJobCounts) {
 
   EXPECT_GT(serial.mbrs_created, 0);
   expect_results_identical(serial, four);
+}
+
+TEST(ParallelFlow, CountersAreBitIdenticalAcrossJobCounts) {
+  // The flow's counter delta is deterministic *output*, not measurement:
+  // work counts (solver nodes, repaired pins, cliques) are integer sums of
+  // per-call quantities, so the snapshot must match exactly at any jobs
+  // value. This is the enforced half of the observability determinism
+  // split; stage seconds and spans are the measurement-only half.
+  const lib::Library library = lib::make_default_library();
+  const mbr::FlowResult serial =
+      run_with_jobs(library, 1, mbr::Allocator::kIlp);
+  const mbr::FlowResult four = run_with_jobs(library, 4, mbr::Allocator::kIlp);
+
+  EXPECT_FALSE(serial.counters.counters.empty());
+  EXPECT_FALSE(serial.counters.histograms.empty());
+  EXPECT_EQ(serial.counters, four.counters)
+      << "jobs=1:\n" << obs::format_counters(serial.counters)
+      << "jobs=4:\n" << obs::format_counters(four.counters);
+}
+
+TEST(ParallelFlow, TraceIsEmptyWhenTracingIsOff) {
+  const lib::Library library = lib::make_default_library();
+  const mbr::FlowResult result =
+      run_with_jobs(library, 1, mbr::Allocator::kHeuristic);
+  EXPECT_TRUE(result.trace.empty());
+}
+
+TEST(ParallelFlow, TracedFlowRecordsSpans) {
+  benchgen::DesignProfile profile;
+  profile.name = "traced";
+  profile.seed = 33;
+  profile.register_cells = 200;
+  profile.comb_per_register = 4.0;
+
+  const lib::Library library = lib::make_default_library();
+  benchgen::GeneratedDesign generated =
+      benchgen::generate_design(library, profile);
+
+  mbr::FlowOptions options;
+  options.timing.clock_period = generated.calibrated_clock_period;
+  options.jobs = 4;
+  options.trace = true;  // no trace_path: in-memory capture only
+  const mbr::FlowResult result =
+      mbr::run_composition_flow(generated.design, options);
+
+  ASSERT_FALSE(result.trace.empty());
+  std::set<std::string> names;
+  for (const obs::TraceEvent& e : result.trace.events) {
+    names.insert(e.name);
+    EXPECT_GE(e.dur_us, 0);
+    EXPECT_GE(e.depth, 0);
+  }
+  EXPECT_TRUE(names.contains("flow"));
+  EXPECT_TRUE(names.contains("plan.subgraph"));
+  ASSERT_FALSE(result.trace.thread_names.empty());
+  // The installing thread is labeled by run_composition_flow itself.
+  EXPECT_EQ(result.trace.thread_names.begin()->second, "flow");
 }
 
 TEST(ParallelFlow, StageTableIsPopulated) {

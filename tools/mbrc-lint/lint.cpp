@@ -212,6 +212,13 @@ const std::set<std::string> kIdTypes = {"CellId", "PinId", "NetId"};
 const std::set<std::string> kParallelCalls = {"parallel_for",
                                               "parallel_transform"};
 
+// Wall-clock sources (R3 clock scoping). Duration constructors like
+// std::chrono::seconds(0) or microseconds(200) are deliberately absent:
+// they name spans of time, not reads of the clock.
+const std::set<std::string> kClockIdents = {
+    "steady_clock", "system_clock", "high_resolution_clock",
+    "clock_gettime", "gettimeofday"};
+
 // ---------------------------------------------------------------------------
 // Cross-file tables.
 // ---------------------------------------------------------------------------
@@ -548,10 +555,29 @@ struct Engine {
     return false;
   }
 
+  /// Clock exemption is a substring match (unlike the RNG suffix match):
+  /// it names whole directories (src/obs/) as well as file stems
+  /// (runtime/stage_timer covers both .hpp and .cpp).
+  bool clock_exempt() const {
+    for (const std::string& part : options.clock_exempt_paths)
+      if (scan->file->path.find(part) != std::string::npos) return true;
+    return false;
+  }
+
   void rule_r3() {
-    if (r3_exempt()) return;
+    const bool rng_ok = r3_exempt();
+    const bool clock_ok = clock_exempt();
     const auto& t = scan->tokens;
     for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind == TokKind::kIdent && !clock_ok &&
+          kClockIdents.contains(t[i].text))
+        emit("R3", t[i].line,
+             "reads the wall clock via '" + t[i].text +
+                 "' -- wall-clock time is measurement-only and confined to "
+                 "src/obs/, runtime/stage_timer and util/stopwatch.hpp "
+                 "(DESIGN.md section 11); time a region with "
+                 "runtime::StageTimer or obs::Span instead");
+      if (rng_ok) continue;
       if (t[i].kind == TokKind::kIdent) {
         if ((t[i].text == "rand" || t[i].text == "srand") &&
             is(t, i + 1, "(") && !is(t, i - 1, ".") && !is(t, i - 1, "->"))
@@ -683,6 +709,70 @@ struct Engine {
     }
   }
 
+  // --- R6: wall-clock values feeding flow decisions ------------------------
+
+  void rule_r6() {
+    if (clock_exempt()) return;
+    const auto& t = scan->tokens;
+
+    // Stopwatch-typed variables declared in this file (locals, members,
+    // reference parameters).
+    std::set<std::string> watches;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!is(t, i, "Stopwatch")) continue;
+      std::size_t j = i + 1;
+      while (is(t, j, "&") || is(t, j, "*") || is(t, j, "const")) ++j;
+      if (is_ident(t, j) && j + 1 < t.size() &&
+          decl_terminator(t[j + 1].text) && t[j + 1].text != "(")
+        watches.insert(t[j].text);
+    }
+    if (watches.empty()) return;
+
+    // Plain variables assigned from a stopwatch reading. Member accesses on
+    // the left (`result.total_seconds = clock.seconds()`) are the sanctioned
+    // report-recording pattern and stay untracked.
+    std::set<std::string> timing_vars;
+    for (std::size_t i = 0; i + 5 < t.size(); ++i) {
+      if (is_ident(t, i) && is(t, i + 1, "=") && is_ident(t, i + 2) &&
+          watches.contains(t[i + 2].text) && is(t, i + 3, ".") &&
+          is(t, i + 4, "seconds") && is(t, i + 5, "(") &&
+          (i == 0 || (t[i - 1].text != "." && t[i - 1].text != "->")))
+        timing_vars.insert(t[i].text);
+    }
+
+    // `SW.seconds()` whose closing paren sits at `close`.
+    const auto seconds_call_ending_at = [&](std::size_t close) -> std::string {
+      if (close < 4 || t[close].text != ")" || t[close - 1].text != "(" ||
+          t[close - 2].text != "seconds" || t[close - 3].text != ".")
+        return {};
+      if (is_ident(t, close - 4) && watches.contains(t[close - 4].text))
+        return t[close - 4].text;
+      return {};
+    };
+
+    for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+      const std::string& op = t[i].text;
+      if (op != "<" && op != ">" && op != "<=" && op != ">=") continue;
+      std::string culprit = seconds_call_ending_at(i - 1);
+      if (culprit.empty() && is_ident(t, i - 1) &&
+          timing_vars.contains(t[i - 1].text))
+        culprit = t[i - 1].text;
+      if (culprit.empty() && is_ident(t, i + 1) &&
+          timing_vars.contains(t[i + 1].text))
+        culprit = t[i + 1].text;
+      if (culprit.empty() && is_ident(t, i + 1) &&
+          watches.contains(t[i + 1].text) && is(t, i + 2, ".") &&
+          is(t, i + 3, "seconds"))
+        culprit = t[i + 1].text;
+      if (culprit.empty()) continue;
+      emit("R6", t[i].line,
+           "compares a wall-clock value from '" + culprit +
+               "'; timing is measurement-only and must never feed flow "
+               "results (DESIGN.md section 11) -- branch on deterministic "
+               "work counters (node budgets, iteration counts) instead");
+    }
+  }
+
   void run(const FileScan& file_scan) {
     scan = &file_scan;
     vars = collect_vars(file_scan, global);
@@ -691,6 +781,7 @@ struct Engine {
     rule_r3();
     rule_r4();
     rule_r5();
+    rule_r6();
   }
 };
 
