@@ -40,15 +40,15 @@ ilp::SetPartitionResult solve_subgraph(
   return ilp::solve_set_partition(problem, options);
 }
 
-CompositionPlan plan_composition(const netlist::Design& design,
-                                 const sta::TimingReport& timing,
-                                 const CompositionOptions& options) {
-  CompositionPlan plan;
-  plan.graph = build_compatibility_graph(design, timing, options.compatibility);
+namespace {
 
+// Shared back half of plan_composition / plan_composition_region: enumerate
+// and solve the given subgraphs over an already-built graph, then reduce
+// into the plan in deterministic order.
+void plan_over_subgraphs(CompositionPlan& plan, const netlist::Design& design,
+                         const std::vector<std::vector<int>>& subgraphs,
+                         const CompositionOptions& options) {
   const BlockerIndex blockers(plan.graph);
-  const auto subgraphs =
-      partition_graph(plan.graph, design, options.partition);
   plan.subgraph_count = static_cast<int>(subgraphs.size());
 
   // Per-subgraph fan-out: enumeration and the branch & bound solve are
@@ -99,6 +99,39 @@ CompositionPlan plan_composition(const netlist::Design& design,
             [](const Selection& a, const Selection& b) {
               return a.members.front() < b.members.front();
             });
+}
+
+}  // namespace
+
+CompositionPlan plan_composition(const netlist::Design& design,
+                                 const sta::TimingReport& timing,
+                                 const CompositionOptions& options) {
+  CompositionPlan plan;
+  plan.graph = build_compatibility_graph(design, timing, options.compatibility);
+  const auto subgraphs = partition_graph(plan.graph, design, options.partition);
+  plan_over_subgraphs(plan, design, subgraphs, options);
+  return plan;
+}
+
+CompositionPlan plan_composition_region(
+    const netlist::Design& design, const sta::TimingReport& timing,
+    const std::vector<netlist::CellId>& region,
+    const CompositionOptions& options) {
+  CompositionPlan plan;
+  plan.graph = build_compatibility_graph(design, timing, options.compatibility);
+
+  std::vector<netlist::CellId> sorted_region = region;
+  std::sort(sorted_region.begin(), sorted_region.end());
+
+  auto subgraphs = partition_graph(plan.graph, design, options.partition);
+  std::erase_if(subgraphs, [&](const std::vector<int>& subgraph) {
+    for (int node : subgraph)
+      if (std::binary_search(sorted_region.begin(), sorted_region.end(),
+                             plan.graph.node(node).cell))
+        return false;
+    return true;
+  });
+  plan_over_subgraphs(plan, design, subgraphs, options);
   return plan;
 }
 

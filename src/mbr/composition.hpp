@@ -57,6 +57,18 @@ CompositionPlan plan_composition(const netlist::Design& design,
                                  const sta::TimingReport& timing,
                                  const CompositionOptions& options = {});
 
+/// Incremental planning for the service's recompose_region request: builds
+/// the compatibility graph and partition exactly like plan_composition, but
+/// enumerates candidates and solves ILPs only for the subgraphs containing
+/// at least one cell of `region` (the cells a session's edits touched).
+/// Untouched subgraphs are skipped entirely, so the cost scales with the
+/// edited neighborhood, not the design. Within the retained subgraphs the
+/// plan is identical to the full plan's (subgraphs are independent).
+CompositionPlan plan_composition_region(
+    const netlist::Design& design, const sta::TimingReport& timing,
+    const std::vector<netlist::CellId>& region,
+    const CompositionOptions& options = {});
+
 /// Solves one subgraph's ILP given its enumerated candidates; exposed for
 /// tests (cross-validation against the generic simplex-based B&B) and for
 /// the worked-example bench.

@@ -48,16 +48,87 @@ void write_flow_report(std::ostream& os, const FlowOptions& options,
   w.begin_object();
   w.kv("schema", kFlowReportSchema);
 
+  // Complete echo of FlowOptions, nested to mirror the struct: a report is
+  // only reproducible if it records EVERY knob the run used.
+  // tests/obs_test.cpp (FlowReport.OptionsEchoIsComplete) pins the exact
+  // key-path set and asserts each leaf tracks its field -- extend both when
+  // adding an option.
   w.key("options").begin_object();
-  w.kv("allocator", allocator_name(options.allocator))
-      .kv("jobs", options.jobs)
-      .kv("clock_period", options.timing.clock_period)
-      .kv("decompose_wide_mbrs", options.decompose_wide_mbrs)
-      .kv("apply_useful_skew", options.apply_useful_skew)
-      .kv("skew_only_new_mbrs", options.skew_only_new_mbrs)
-      .kv("size_new_mbrs", options.size_new_mbrs)
-      .kv("check_level", static_cast<int>(options.check_level))
-      .kv("trace", options.trace);
+  w.kv("allocator", allocator_name(options.allocator));
+  w.key("timing").begin_object();
+  w.kv("clock_period", options.timing.clock_period)
+      .kv("wire_cap_per_um", options.timing.wire_cap_per_um)
+      .kv("wire_res_per_um", options.timing.wire_res_per_um)
+      .kv("input_delay", options.timing.input_delay)
+      .kv("output_margin", options.timing.output_margin)
+      .kv("jobs", options.timing.jobs);
+  w.end_object();
+  w.key("composition").begin_object();
+  w.key("compatibility").begin_object();
+  w.kv("slack_similarity", options.composition.compatibility.slack_similarity)
+      .kv("slack_clamp", options.composition.compatibility.slack_clamp)
+      .kv("sign_epsilon", options.composition.compatibility.sign_epsilon)
+      .kv("max_distance", options.composition.compatibility.max_distance);
+  w.key("region").begin_object();
+  w.kv("skew_balanced", options.composition.compatibility.region.skew_balanced)
+      .kv("delay_per_um", options.composition.compatibility.region.delay_per_um)
+      .kv("max_radius", options.composition.compatibility.region.max_radius);
+  w.end_object();
+  w.end_object();
+  w.key("partition").begin_object();
+  w.kv("max_nodes", options.composition.partition.max_nodes);
+  w.end_object();
+  w.key("enumeration").begin_object();
+  w.kv("allow_incomplete", options.composition.enumeration.allow_incomplete)
+      .kv("incomplete_area_overhead",
+          options.composition.enumeration.incomplete_area_overhead)
+      .kv("use_weights", options.composition.enumeration.use_weights)
+      .kv("max_candidates_per_subgraph",
+          static_cast<std::int64_t>(
+              options.composition.enumeration.max_candidates_per_subgraph));
+  w.end_object();
+  w.key("solver").begin_object();
+  w.kv("max_nodes", options.composition.solver.max_nodes);
+  w.end_object();
+  w.kv("jobs", options.composition.jobs);
+  w.end_object();
+  w.key("mapping").begin_object();
+  w.kv("incomplete_area_overhead", options.mapping.incomplete_area_overhead);
+  w.end_object();
+  w.key("placement").begin_object();
+  w.kv("use_lp", options.placement.use_lp);
+  w.end_object();
+  w.key("cts").begin_object();
+  w.kv("wire_cap_per_um", options.cts.wire_cap_per_um)
+      .kv("load_utilization", options.cts.load_utilization)
+      .kv("max_fanout", options.cts.max_fanout);
+  w.end_object();
+  w.key("route").begin_object();
+  w.kv("gcell_size", options.route.gcell_size)
+      .kv("h_capacity", options.route.h_capacity)
+      .kv("v_capacity", options.route.v_capacity)
+      .kv("pin_demand", options.route.pin_demand);
+  w.end_object();
+  w.kv("decompose_wide_mbrs", options.decompose_wide_mbrs);
+  w.key("decompose").begin_object();
+  w.kv("min_bits", options.decompose.min_bits)
+      .kv("piece_bits", options.decompose.piece_bits)
+      .kv("min_slack", options.decompose.min_slack);
+  w.end_object();
+  w.kv("apply_useful_skew", options.apply_useful_skew);
+  w.kv("skew_only_new_mbrs", options.skew_only_new_mbrs);
+  w.key("skew").begin_object();
+  w.kv("iterations", options.skew.iterations)
+      .kv("max_abs_skew", options.skew.max_abs_skew)
+      .kv("damping", options.skew.damping)
+      .kv("hold_margin", options.skew.hold_margin);
+  w.end_object();
+  w.kv("size_new_mbrs", options.size_new_mbrs);
+  w.kv("jobs", options.jobs);
+  w.kv("check_level", static_cast<int>(options.check_level));
+  w.kv("trace", options.trace);
+  w.kv("trace_path", options.trace_path);
+  w.kv("report_path", options.report_path);
   w.end_object();
 
   w.key("table1").begin_object();

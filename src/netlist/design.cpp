@@ -224,6 +224,28 @@ void Design::swap_register_cell(CellId cell_id,
   }
 }
 
+Design::Snapshot Design::snapshot() const {
+  Snapshot s;
+  s.cells = cells_;
+  s.pins = pins_;
+  s.nets = nets_;
+  s.topology_version = topology_version_;
+  s.touched_cells = touched_cells_;
+  return s;
+}
+
+void Design::restore(const Snapshot& snapshot) {
+  MBRC_ASSERT_MSG(snapshot.topology_version <= topology_version_,
+                  "snapshot is from a different (or newer) design");
+  cells_ = snapshot.cells;
+  pins_ = snapshot.pins;
+  nets_ = snapshot.nets;
+  touched_cells_ = snapshot.touched_cells;
+  // Monotonic bump past every version observers may have seen: rolling back
+  // must read as a structural change, never as "nothing happened".
+  ++topology_version_;
+}
+
 std::vector<CellId> Design::live_cells() const {
   std::vector<CellId> out;
   out.reserve(cells_.size());

@@ -201,6 +201,33 @@ public:
   /// legalizer does; run_sta-from-scratch users are unaffected).
   void notify_moved(CellId cell) { touched_cells_.push_back(cell); }
 
+  // --- snapshot / rollback ------------------------------------------------
+  // A Snapshot captures the full editable state (cells, pins, nets, the
+  // edit journal) of this design; restore() brings the design back to it
+  // bit-identically. The service's rollback request is built on this.
+  //
+  // Version semantics: topology_version is monotonic for the lifetime of
+  // the design, across restores. restore() never rewinds it -- it bumps it
+  // past every version handed out so far, even when the restored state
+  // equals the current one. Observers therefore see a structural change
+  // and rebuild, which is required: their journal cursors may point past
+  // the end of the restored (shorter) journal.
+  struct Snapshot {
+    std::vector<Cell> cells;
+    std::vector<Pin> pins;
+    std::vector<Net> nets;
+    std::uint64_t topology_version = 0;
+    std::vector<CellId> touched_cells;
+  };
+
+  /// Captures the current state. O(design size); the library pointer and
+  /// core are not part of the snapshot (they are immutable).
+  Snapshot snapshot() const;
+
+  /// Restores a snapshot previously taken from *this* design (the library
+  /// the snapshot's cells reference must be the same object).
+  void restore(const Snapshot& snapshot);
+
 private:
   PinId add_pin(CellId cell, PinRole role, bool is_output, int bit,
                 geom::Point offset, double cap);

@@ -1,0 +1,378 @@
+#include "obs/json_reader.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace mbrc::obs {
+
+std::optional<std::int64_t> JsonValue::as_int() const {
+  if (kind_ != Kind::kNumber) return std::nullopt;
+  if (!(number_ >= -9007199254740992.0 && number_ <= 9007199254740992.0))
+    return std::nullopt;  // outside the double-exact integer range (or NaN)
+  const double rounded = std::nearbyint(number_);
+  if (rounded != number_) return std::nullopt;
+  return static_cast<std::int64_t>(rounded);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const JsonValue* found = nullptr;
+  for (const auto& [name, value] : members_)
+    if (name == key) found = &value;  // last duplicate wins
+  return found;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::int64_t JsonValue::int_or(std::string_view key,
+                               std::int64_t fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return fallback;
+  return v->as_int().value_or(fallback);
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string()
+                                          : std::move(fallback);
+}
+
+bool JsonValue::bool_or(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue j;
+  j.kind_ = Kind::kArray;
+  j.array_ = std::move(items);
+  return j;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue j;
+  j.kind_ = Kind::kObject;
+  j.members_ = std::move(members);
+  return j;
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  JsonParseResult run() {
+    JsonParseResult result;
+    skip_ws();
+    if (!parse_value(result.value, 0)) {
+      result.error = error_;
+      result.position = pos_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error = "trailing content after JSON value";
+      result.position = pos_;
+      return result;
+    }
+    result.ok = true;
+    result.position = pos_;
+    return result;
+  }
+
+private:
+  bool fail(const char* message) {
+    error_ = message;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > max_depth_) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        if (!consume_literal("null")) return fail("invalid literal");
+        out = JsonValue::make_null();
+        return true;
+      case 't':
+        if (!consume_literal("true")) return fail("invalid literal");
+        out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!consume_literal("false")) return fail("invalid literal");
+        out = JsonValue::make_bool(false);
+        return true;
+      case '"':
+        return parse_string_value(out);
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    // Validate the JSON number grammar first (strtod accepts more: hex,
+    // inf, nan, leading '+'), then convert with strtod, whose shortest-
+    // round-trip behavior matches JsonWriter's emitter.
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !is_digit(text_[pos_]))
+      return fail("invalid number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !is_digit(text_[pos_]))
+        return fail("invalid number");
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (pos_ >= text_.size() || !is_digit(text_[pos_]))
+        return fail("invalid number");
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("invalid number");
+    if (errno == ERANGE && !std::isfinite(value))
+      return fail("number out of range");
+    out = JsonValue::make_number(value);
+    return true;
+  }
+
+  bool parse_string_value(JsonValue& out) {
+    std::string s;
+    if (!parse_string(s)) return false;
+    out = JsonValue::make_string(std::move(s));
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      switch (text_[pos_]) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          ++pos_;
+          unsigned code = 0;
+          if (!parse_hex4(code)) return false;
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              return fail("unpaired surrogate");
+            pos_ += 2;
+            unsigned low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low < 0xdc00 || low > 0xdfff)
+              return fail("unpaired surrogate");
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, code);
+          continue;  // parse_hex4 already advanced pos_
+        }
+        default:
+          return fail("invalid escape");
+      }
+      ++pos_;
+    }
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      out <<= 4;
+      if (c >= '0' && c <= '9')
+        out |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        out |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        out |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        return fail("invalid \\u escape");
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      out = JsonValue::make_array(std::move(items));
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      skip_ws();
+      if (!parse_value(item, depth + 1)) return false;
+      items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        out = JsonValue::make_array(std::move(items));
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      out = JsonValue::make_object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail("expected ':' after object key");
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        out = JsonValue::make_object(std::move(members));
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+  std::string_view text_;
+  int max_depth_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+JsonParseResult parse_json(std::string_view text, int max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+}  // namespace mbrc::obs

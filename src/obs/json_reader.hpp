@@ -1,0 +1,86 @@
+// Minimal recursive-descent JSON reader, the read-side counterpart of
+// JsonWriter: the service protocol (newline-delimited request objects) and
+// tests that validate emitted reports parse through this one path.
+//
+// Scope: full RFC 8259 value grammar into a small DOM (JsonValue). Numbers
+// are stored as double; JsonWriter emits doubles in shortest-round-trip
+// form, so write -> read -> compare is bit-exact for finite values. Object
+// members keep insertion order (duplicate keys: last one wins on lookup).
+// Depth is bounded so hostile input cannot exhaust the stack.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mbrc::obs {
+
+class JsonValue {
+public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  /// The number as an integer (requests address cells/pins by id). Values
+  /// outside the exactly-representable range or with a fractional part
+  /// return nullopt.
+  std::optional<std::int64_t> as_int() const;
+  const std::string& as_string() const { return string_; }
+
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Member lookup on an object; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+  /// Typed conveniences for optional request fields: the member's value
+  /// when present and of the right type, `fallback` otherwise.
+  double number_or(std::string_view key, double fallback) const;
+  std::int64_t int_or(std::string_view key, std::int64_t fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;      // empty when ok
+  std::size_t position = 0;  // byte offset of the error (or end of value)
+};
+
+/// Parses one complete JSON value from `text`. Trailing content after the
+/// value (other than whitespace) is an error, so a protocol line is exactly
+/// one document. `max_depth` bounds array/object nesting.
+JsonParseResult parse_json(std::string_view text, int max_depth = 64);
+
+}  // namespace mbrc::obs

@@ -1,0 +1,126 @@
+// The composition daemon: newline-delimited JSON requests multiplexed over
+// per-design Sessions.
+//
+// Protocol (one JSON object per line, response per request, matched by id):
+//
+//   {"id": 1, "cmd": "open_design", "session": "a", "profile": "D1"}
+//   {"id": 2, "cmd": "apply_edits", "session": "a",
+//    "edits": [{"op": "move", "cell": 7, "x": 12.0, "y": 8.4},
+//              {"op": "swap", "cell": 9, "variant": "DFF_X2"},
+//              {"op": "skew", "cell": 9, "skew": 0.05}]}
+//   {"id": 3, "cmd": "query_timing", "session": "a",
+//    "pins": [101, 102], "registers": [9]}
+//   {"id": 4, "cmd": "recompose_region", "session": "a"}
+//   {"id": 5, "cmd": "snapshot", "session": "a", "name": "base"}
+//   {"id": 6, "cmd": "rollback", "session": "a", "name": "base"}
+//   {"id": 7, "cmd": "check", "session": "a"}
+//   {"id": 8, "cmd": "list_registers", "session": "a", "limit": 100}
+//   {"id": 9, "cmd": "close", "session": "a"}
+//   {"id": 10, "cmd": "shutdown"}
+//
+// Responses are compact single-line objects {"id": N, "ok": true, ...} or
+// {"id": N, "ok": false, "error": "..."}. See DESIGN.md §12 for the full
+// grammar.
+//
+// Concurrency model: every session is a strand. Requests for one session
+// execute strictly in arrival order (FIFO), one at a time; requests for
+// different sessions run concurrently on the daemon's thread pool when
+// `jobs > 1`. With `jobs <= 1` every request executes inline on the calling
+// thread, which makes the whole transcript serial -- the reference
+// execution. Because a session's responses are a pure function of its own
+// request order (Session's determinism contract), the response for any
+// given request is byte-identical at any jobs count; only the interleaving
+// of *different* sessions' response lines varies.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/json_reader.hpp"
+#include "runtime/thread_pool.hpp"
+#include "service/session.hpp"
+
+namespace mbrc::service {
+
+struct DaemonOptions {
+  /// Request-execution lanes. <= 1: inline serial execution (deterministic
+  /// transcript order); > 1: a pool of jobs - 1 workers plus the calling
+  /// thread, sessions running concurrently, each internally FIFO.
+  int jobs = 1;
+  /// Defaults for sessions opened without explicit per-request overrides.
+  SessionOptions session_defaults;
+};
+
+class Daemon {
+public:
+  explicit Daemon(const lib::Library& library, DaemonOptions options = {});
+  /// Drains outstanding requests before tearing down.
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Parses one request line and executes it on the owning session's
+  /// strand. `sink` receives the response line (no trailing newline) and
+  /// may be called from a pool thread; with jobs <= 1 it is always called
+  /// before handle() returns. `sink` must be callable concurrently.
+  void handle(std::string line, std::function<void(std::string)> sink);
+
+  /// handle() + wait for this request's response: the synchronous
+  /// round-trip a blocking client sees.
+  std::string handle_sync(const std::string& line);
+
+  /// NDJSON serve loop: reads request lines from `in` until EOF or a
+  /// shutdown request, writing one response line each (mutex-serialized,
+  /// flushed). Returns the number of requests served.
+  std::size_t serve(std::istream& in, std::ostream& out);
+
+  /// Blocks until every accepted request has delivered its response.
+  void drain();
+
+  /// True once a shutdown request was accepted (serve loops should stop
+  /// reading; pending requests still complete).
+  bool shutdown_requested() const;
+
+  std::size_t session_count() const;
+  const DaemonOptions& options() const { return options_; }
+
+private:
+  /// One open design and its FIFO request queue. `session` is null until
+  /// the open_design job ran (requests queued behind a failed open report
+  /// "session is not open").
+  struct Strand {
+    std::unique_ptr<Session> session;
+    std::deque<std::function<void()>> queue;
+    bool running = false;
+    bool closed = false;
+  };
+
+  void post(const std::shared_ptr<Strand>& strand, std::function<void()> job);
+  void run_strand(std::shared_ptr<Strand> strand);
+  void finish_one();
+
+  // Request execution (called on the strand, serialized per session).
+  std::string execute(Strand& strand, const obs::JsonValue& request);
+  std::string do_open(Strand& strand, const obs::JsonValue& request);
+  std::string do_close(Strand& strand, const obs::JsonValue& request);
+
+  const lib::Library& library_;
+  DaemonOptions options_;
+  std::unique_ptr<runtime::ThreadPool> pool_;  // null when jobs <= 1
+
+  mutable std::mutex mutex_;  // guards sessions_, strand queues, counters
+  std::map<std::string, std::shared_ptr<Strand>> sessions_;
+  std::size_t outstanding_ = 0;
+  std::condition_variable idle_;
+  bool shutdown_ = false;
+};
+
+}  // namespace mbrc::service

@@ -1,0 +1,61 @@
+// Unix-domain socket front-end for the composition daemon.
+//
+// Binds a stream socket at a filesystem path and serves the same
+// newline-delimited JSON protocol as Daemon::serve, one connection per
+// client thread. All connections share one Daemon, so sessions are global
+// to the server: a client may open a session, disconnect, reconnect and
+// keep editing it. Responses go to the connection that issued the request.
+//
+// Wall-clock policy: this file owns the service's only deadline sites (the
+// accept-poll tick and the optional idle timeout). Both are liveness
+// mechanisms -- they decide *when the server stops waiting*, never what any
+// response contains -- and each clock read carries an mbrc-lint allow(R3)
+// annotation saying so (DESIGN.md §11; tests/lint_test.cpp pins the rule).
+#pragma once
+
+#include <string>
+
+#include "service/daemon.hpp"
+
+namespace mbrc::service {
+
+struct SocketServerOptions {
+  std::string path;  // filesystem path of the listening socket
+  int backlog = 8;
+  /// Accept-poll tick (ms): bounds shutdown latency, not behavior.
+  int poll_interval_ms = 100;
+  /// Stop serving after this long with no connected client (seconds);
+  /// <= 0 serves until a shutdown request.
+  double idle_timeout_seconds = 0.0;
+};
+
+class SocketServer {
+public:
+  /// `daemon` must outlive the server.
+  SocketServer(Daemon& daemon, SocketServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens. False on failure (see error()).
+  bool start();
+
+  /// Accept loop: serves connections until the daemon sees a shutdown
+  /// request or the idle timeout expires. Joins every connection thread
+  /// before returning. Returns the number of connections served.
+  std::size_t run();
+
+  const std::string& error() const { return error_; }
+  const std::string& path() const { return options_.path; }
+
+private:
+  void serve_connection(int fd);
+
+  Daemon& daemon_;
+  SocketServerOptions options_;
+  int listen_fd_ = -1;
+  std::string error_;
+};
+
+}  // namespace mbrc::service

@@ -293,6 +293,47 @@ TEST(LintR3Clock, SanctionedMeasurementFilesAreExempt) {
   EXPECT_TRUE(run_lint(files, {}, {}).active().empty());
 }
 
+TEST(LintR3Clock, ServiceLayerIsNotClockExempt) {
+  // The composition daemon (src/service) must stay deterministic: it is
+  // deliberately NOT in the clock-exempt path list, so a bare wall-clock
+  // read there is a lint failure. Real clock uses (the socket accept
+  // loop's idle timeout) carry per-site allow(R3) suppressions instead.
+  const std::vector<SourceFile> files = {
+      {"src/service/socket_server.cpp",
+       "void f() { auto t = std::chrono::steady_clock::now(); }\n"}};
+  const auto result = run_lint(files, {}, {});
+  ASSERT_EQ(result.active().size(), 1u);
+  EXPECT_EQ(result.active()[0]->rule, "R3");
+  EXPECT_EQ(result.active()[0]->path, "src/service/socket_server.cpp");
+}
+
+TEST(LintR3Clock, ServiceClockReadWithReasonedAllowIsSuppressed) {
+  const std::vector<SourceFile> files = {
+      {"src/service/socket_server.cpp",
+       "// mbrc-lint: allow(R3, idle timeout only closes connections; "
+       "never alters any response payload)\n"
+       "auto deadline = std::chrono::steady_clock::now();\n"}};
+  const auto result = run_lint(files, {}, {});
+  EXPECT_TRUE(result.active().empty());
+  EXPECT_TRUE(result.clean());
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_TRUE(result.findings[0].suppressed);
+}
+
+TEST(LintR3Clock, ServiceSystemClockIsAlsoFlagged) {
+  // system_clock is worse than steady_clock for determinism (it can jump),
+  // so the daemon must not read it either.
+  const std::vector<SourceFile> files = {
+      {"src/service/daemon.cpp",
+       "long stamp() { return std::chrono::system_clock::now()"
+       ".time_since_epoch().count(); }\n"}};
+  const auto result = run_lint(files, {}, {});
+  ASSERT_EQ(result.active().size(), 1u);
+  EXPECT_EQ(result.active()[0]->rule, "R3");
+  EXPECT_NE(result.active()[0]->message.find("system_clock"),
+            std::string::npos);
+}
+
 TEST(LintR3Clock, DurationConstructorsAreNotClockReads) {
   // std::chrono::seconds(0) / microseconds(200) name spans of time, not
   // reads of the clock (the thread pool's condvar waits use them).

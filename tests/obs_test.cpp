@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -15,8 +16,11 @@
 #include <thread>
 #include <vector>
 
+#include "mbr/flow.hpp"
+#include "mbr/report.hpp"
 #include "obs/counters.hpp"
 #include "obs/json.hpp"
+#include "obs/json_reader.hpp"
 #include "obs/stage_store.hpp"
 #include "obs/trace.hpp"
 
@@ -324,6 +328,271 @@ TEST(Trace, EmptyTraceStillExportsValidDocument) {
   std::ostringstream os;
   write_chrome_trace(os, TraceData{});
   EXPECT_TRUE(structurally_valid_json(os.str())) << os.str();
+}
+
+// --- JsonReader ------------------------------------------------------------
+
+TEST(JsonReader, ParsesScalarsStringsArraysObjects) {
+  const JsonParseResult r = parse_json(
+      R"({"a": 1.5, "b": [true, null, "x\nA"], "c": {"d": -2}})");
+  ASSERT_TRUE(r.ok) << r.error;
+  const JsonValue& v = r.value;
+  EXPECT_EQ(v.number_or("a", 0.0), 1.5);
+  const JsonValue* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->array().size(), 3u);
+  EXPECT_TRUE(b->array()[0].as_bool());
+  EXPECT_TRUE(b->array()[1].is_null());
+  EXPECT_EQ(b->array()[2].as_string(), "x\nA");
+  ASSERT_NE(v.find("c"), nullptr);
+  EXPECT_EQ(v.find("c")->int_or("d", 0), -2);
+}
+
+TEST(JsonReader, WriteParseRoundTripIsBitExactForDoubles) {
+  // JsonWriter emits shortest-round-trip doubles, so write -> parse must
+  // reproduce the exact bits (the service tests' byte-identity contract
+  // leans on this).
+  const double cases[] = {0.1,
+                          1.0 / 3.0,
+                          -0.0,
+                          1e-300,
+                          5e-324,
+                          1.7976931348623157e308,
+                          3.141592653589793,
+                          -123456.789012345};
+  for (double expected : cases) {
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.begin_object().kv("v", expected).end_object();
+    const JsonParseResult r = parse_json(os.str());
+    ASSERT_TRUE(r.ok) << os.str() << ": " << r.error;
+    const double parsed = r.value.number_or("v", 42.0);
+    EXPECT_EQ(parsed, expected) << os.str();
+    EXPECT_EQ(std::signbit(parsed), std::signbit(expected)) << os.str();
+  }
+}
+
+TEST(JsonReader, NonFiniteDoublesRoundTripAsNull) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object()
+      .kv("inf", std::numeric_limits<double>::infinity())
+      .kv("nan", std::numeric_limits<double>::quiet_NaN())
+      .end_object();
+  const JsonParseResult r = parse_json(os.str());
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_NE(r.value.find("inf"), nullptr);
+  EXPECT_TRUE(r.value.find("inf")->is_null());
+  ASSERT_NE(r.value.find("nan"), nullptr);
+  EXPECT_TRUE(r.value.find("nan")->is_null());
+}
+
+TEST(JsonReader, AsIntRejectsFractionsAndOutOfRange) {
+  EXPECT_EQ(parse_json("42").value.as_int(), 42);
+  EXPECT_EQ(parse_json("-7").value.as_int(), -7);
+  EXPECT_FALSE(parse_json("1.5").value.as_int().has_value());
+  EXPECT_FALSE(parse_json("1e300").value.as_int().has_value());
+}
+
+TEST(JsonReader, RejectsTrailingContentAndBadSyntax) {
+  EXPECT_FALSE(parse_json("{} x").ok);
+  EXPECT_FALSE(parse_json("{\"a\":}").ok);
+  EXPECT_FALSE(parse_json("\"unterminated").ok);
+  EXPECT_FALSE(parse_json("[1,]").ok);
+  EXPECT_FALSE(parse_json("").ok);
+}
+
+TEST(JsonReader, DepthBoundStopsHostileNesting) {
+  EXPECT_TRUE(
+      parse_json(std::string(10, '[') + std::string(10, ']'), 64).ok);
+  EXPECT_FALSE(
+      parse_json(std::string(100, '[') + std::string(100, ']'), 64).ok);
+}
+
+TEST(JsonReader, DuplicateKeysKeepOrderAndLastWinsOnLookup) {
+  const JsonParseResult r = parse_json(R"({"k": 1, "j": 2, "k": 3})");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.int_or("k", 0), 3);
+  ASSERT_EQ(r.value.members().size(), 3u);
+  EXPECT_EQ(r.value.members()[0].first, "k");
+  EXPECT_EQ(r.value.members()[1].first, "j");
+}
+
+// --- flow report options echo ----------------------------------------------
+
+namespace completeness {
+
+/// Flattens every leaf of a parsed JSON object into "a.b.c" -> printed
+/// value, so the echo can be compared structurally.
+void flatten_leaves(const JsonValue& value, const std::string& prefix,
+                    std::map<std::string, std::string>& out) {
+  if (value.is_object()) {
+    for (const auto& [key, member] : value.members())
+      flatten_leaves(member, prefix.empty() ? key : prefix + "." + key, out);
+    return;
+  }
+  std::ostringstream os;
+  os.precision(17);
+  if (value.is_bool())
+    os << (value.as_bool() ? "true" : "false");
+  else if (value.is_number())
+    os << value.as_number();
+  else if (value.is_string())
+    os << value.as_string();
+  else
+    os << "null";
+  out[prefix] = os.str();
+}
+
+std::map<std::string, std::string> echoed_options(
+    const mbr::FlowOptions& options) {
+  std::ostringstream os;
+  mbr::write_flow_report(os, options, mbr::FlowResult{});
+  const JsonParseResult parsed = parse_json(os.str());
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+  const JsonValue* echo = parsed.value.find("options");
+  EXPECT_NE(echo, nullptr);
+  std::map<std::string, std::string> leaves;
+  if (echo != nullptr) flatten_leaves(*echo, "", leaves);
+  return leaves;
+}
+
+/// Every FlowOptions leaf changed away from its default. Extend together
+/// with the echo in src/mbr/report.cpp and kExpectedPaths below.
+mbr::FlowOptions fully_mutated(const mbr::FlowOptions& defaults) {
+  mbr::FlowOptions o = defaults;
+  o.timing.clock_period += 1.25;
+  o.timing.wire_cap_per_um += 0.1;
+  o.timing.wire_res_per_um += 0.001;
+  o.timing.input_delay += 0.01;
+  o.timing.output_margin += 0.02;
+  o.timing.jobs += 2;
+  o.composition.compatibility.slack_similarity += 0.05;
+  o.composition.compatibility.slack_clamp += 0.1;
+  o.composition.compatibility.sign_epsilon += 0.01;
+  o.composition.compatibility.max_distance += 15.0;
+  o.composition.compatibility.region.skew_balanced =
+      !o.composition.compatibility.region.skew_balanced;
+  o.composition.compatibility.region.delay_per_um += 0.0015;
+  o.composition.compatibility.region.max_radius += 30.0;
+  o.composition.partition.max_nodes -= 10;
+  o.composition.enumeration.allow_incomplete =
+      !o.composition.enumeration.allow_incomplete;
+  o.composition.enumeration.incomplete_area_overhead += 0.05;
+  o.composition.enumeration.use_weights =
+      !o.composition.enumeration.use_weights;
+  o.composition.enumeration.max_candidates_per_subgraph /= 2;
+  o.composition.solver.max_nodes += 1234;
+  o.composition.jobs += 1;
+  o.mapping.incomplete_area_overhead += 0.075;
+  o.placement.use_lp = !o.placement.use_lp;
+  o.cts.wire_cap_per_um += 0.05;
+  o.cts.load_utilization -= 0.15;
+  o.cts.max_fanout -= 8;
+  o.route.gcell_size -= 2.0;
+  o.route.h_capacity -= 30.0;
+  o.route.v_capacity -= 25.0;
+  o.route.pin_demand += 0.05;
+  o.allocator = o.allocator == mbr::Allocator::kIlp
+                    ? mbr::Allocator::kHeuristic
+                    : mbr::Allocator::kIlp;
+  o.decompose_wide_mbrs = !o.decompose_wide_mbrs;
+  o.decompose.min_bits -= 2;
+  o.decompose.piece_bits -= 2;
+  o.decompose.min_slack += 0.03;
+  o.apply_useful_skew = !o.apply_useful_skew;
+  o.skew_only_new_mbrs = !o.skew_only_new_mbrs;
+  o.skew.iterations -= 4;
+  o.skew.max_abs_skew += 0.25;
+  o.skew.damping -= 0.2;
+  o.skew.hold_margin += 0.005;
+  o.size_new_mbrs = !o.size_new_mbrs;
+  o.jobs += 5;
+  o.check_level = o.check_level == check::CheckLevel::kOff
+                      ? check::CheckLevel::kParanoid
+                      : check::CheckLevel::kOff;
+  o.trace = !o.trace;
+  o.trace_path = "/tmp/mutated_trace.json";
+  o.report_path = "/tmp/mutated_report.json";
+  return o;
+}
+
+}  // namespace completeness
+
+// The options echo must cover EVERY FlowOptions field: the exact key-path
+// set is pinned here, and every leaf must track its field (differ between
+// default and fully-mutated options). Adding a FlowOptions field without
+// echoing it -- or echoing without pinning -- fails this test.
+TEST(FlowReport, OptionsEchoIsComplete) {
+  const std::vector<std::string> kExpectedPaths = {
+      "allocator",
+      "apply_useful_skew",
+      "check_level",
+      "composition.compatibility.max_distance",
+      "composition.compatibility.region.delay_per_um",
+      "composition.compatibility.region.max_radius",
+      "composition.compatibility.region.skew_balanced",
+      "composition.compatibility.sign_epsilon",
+      "composition.compatibility.slack_clamp",
+      "composition.compatibility.slack_similarity",
+      "composition.enumeration.allow_incomplete",
+      "composition.enumeration.incomplete_area_overhead",
+      "composition.enumeration.max_candidates_per_subgraph",
+      "composition.enumeration.use_weights",
+      "composition.jobs",
+      "composition.partition.max_nodes",
+      "composition.solver.max_nodes",
+      "cts.load_utilization",
+      "cts.max_fanout",
+      "cts.wire_cap_per_um",
+      "decompose.min_bits",
+      "decompose.min_slack",
+      "decompose.piece_bits",
+      "decompose_wide_mbrs",
+      "jobs",
+      "mapping.incomplete_area_overhead",
+      "placement.use_lp",
+      "report_path",
+      "route.gcell_size",
+      "route.h_capacity",
+      "route.pin_demand",
+      "route.v_capacity",
+      "size_new_mbrs",
+      "skew.damping",
+      "skew.hold_margin",
+      "skew.iterations",
+      "skew.max_abs_skew",
+      "skew_only_new_mbrs",
+      "timing.clock_period",
+      "timing.input_delay",
+      "timing.jobs",
+      "timing.output_margin",
+      "timing.wire_cap_per_um",
+      "timing.wire_res_per_um",
+      "trace",
+      "trace_path",
+  };
+
+  const mbr::FlowOptions defaults;
+  const std::map<std::string, std::string> base =
+      completeness::echoed_options(defaults);
+  const std::map<std::string, std::string> mutated =
+      completeness::echoed_options(completeness::fully_mutated(defaults));
+
+  std::vector<std::string> actual_paths;
+  for (const auto& [path, value] : base) actual_paths.push_back(path);
+  EXPECT_EQ(actual_paths, kExpectedPaths)
+      << "options echo key set changed; update the echo in "
+         "src/mbr/report.cpp and kExpectedPaths together";
+
+  ASSERT_EQ(base.size(), mutated.size());
+  for (const auto& [path, value] : base) {
+    const auto it = mutated.find(path);
+    ASSERT_NE(it, mutated.end()) << path;
+    EXPECT_NE(it->second, value)
+        << "echoed leaf '" << path
+        << "' did not track its FlowOptions field under mutation";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,608 @@
+// Composition-service contract tests.
+//
+// The acceptance bar (ISSUE/ROADMAP): a recorded edit stream replayed
+// through the daemon yields responses bit-identical to applying the same
+// edits serially through a TimingEngine directly, and the daemon's
+// responses are byte-identical at jobs = 1 and jobs = 4 (per-session FIFO
+// strands make each session's responses a pure function of its own request
+// order). Protocol behavior -- session lifecycle, snapshot/rollback,
+// incremental query stats, error reporting, the serve loop -- is pinned
+// here too.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/generator.hpp"
+#include "obs/json.hpp"
+#include "obs/json_reader.hpp"
+#include "service/daemon.hpp"
+#include "sta/timing_engine.hpp"
+#include "util/rng.hpp"
+
+namespace mbrc {
+namespace {
+
+constexpr int kRegisters = 140;
+constexpr std::uint64_t kSeed = 11;
+constexpr const char* kProfile = "svc";
+
+// The same design the daemon's open_design builds for
+// {"profile": "svc", "registers": 140, "seed": 11} -- benchgen is
+// deterministic, so the test can maintain a bit-identical reference copy.
+benchgen::GeneratedDesign reference_design(const lib::Library& library) {
+  benchgen::DesignProfile profile;
+  profile.name = kProfile;
+  profile.register_cells = kRegisters;
+  profile.seed = kSeed;
+  return benchgen::generate_design(library, profile);
+}
+
+std::string open_request(std::int64_t id, const std::string& session) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object().kv("id", id).kv("cmd", "open_design");
+  w.kv("session", session).kv("profile", kProfile);
+  w.kv("registers", kRegisters);
+  w.kv("seed", static_cast<std::int64_t>(kSeed));
+  w.end_object();
+  return os.str();
+}
+
+/// One recorded edit, mirrored into both the daemon request stream and the
+/// direct-TimingEngine reference application.
+struct RecordedEdit {
+  enum class Op { kMove, kSwap, kSkew, kClearSkew } op;
+  netlist::CellId cell;
+  double x = 0.0, y = 0.0;
+  std::string variant;
+  double skew = 0.0;
+};
+
+std::string edits_request(std::int64_t id, const std::string& session,
+                          const std::vector<RecordedEdit>& edits) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object().kv("id", id).kv("cmd", "apply_edits");
+  w.kv("session", session);
+  w.key("edits").begin_array();
+  for (const RecordedEdit& e : edits) {
+    w.begin_object();
+    switch (e.op) {
+      case RecordedEdit::Op::kMove:
+        w.kv("op", "move").kv("cell", e.cell.index).kv("x", e.x).kv("y", e.y);
+        break;
+      case RecordedEdit::Op::kSwap:
+        w.kv("op", "swap").kv("cell", e.cell.index).kv("variant", e.variant);
+        break;
+      case RecordedEdit::Op::kSkew:
+        w.kv("op", "skew").kv("cell", e.cell.index).kv("skew", e.skew);
+        break;
+      case RecordedEdit::Op::kClearSkew:
+        w.kv("op", "skew").kv("cell", e.cell.index).kv("clear", true);
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+std::string query_request(std::int64_t id, const std::string& session,
+                          const std::vector<netlist::PinId>& pins,
+                          const std::vector<netlist::CellId>& registers) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object().kv("id", id).kv("cmd", "query_timing");
+  w.kv("session", session);
+  w.key("pins").begin_array();
+  for (netlist::PinId pin : pins) w.value(pin.index);
+  w.end_array();
+  w.key("registers").begin_array();
+  for (netlist::CellId reg : registers) w.value(reg.index);
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+std::string simple_request(std::int64_t id, const std::string& cmd,
+                           const std::string& session,
+                           const std::string& name = {}) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object().kv("id", id).kv("cmd", cmd);
+  if (!session.empty()) w.kv("session", session);
+  if (!name.empty()) w.kv("name", name);
+  w.end_object();
+  return os.str();
+}
+
+/// Feeds every line without waiting, then drains: at jobs > 1 different
+/// sessions' requests genuinely race. Responses keyed by request id.
+std::map<std::int64_t, std::string> run_transcript(
+    service::Daemon& daemon, const std::vector<std::string>& lines) {
+  std::map<std::int64_t, std::string> responses;
+  std::mutex mutex;
+  for (const std::string& line : lines) {
+    daemon.handle(line, [&](std::string response) {
+      const obs::JsonParseResult parsed = obs::parse_json(response);
+      ASSERT_TRUE(parsed.ok) << response;
+      const std::int64_t id = parsed.value.int_or("id", -1);
+      std::lock_guard<std::mutex> lock(mutex);
+      ASSERT_FALSE(responses.contains(id)) << "duplicate response id " << id;
+      responses[id] = std::move(response);
+    });
+  }
+  daemon.drain();
+  return responses;
+}
+
+obs::JsonValue parse_ok(const std::string& response) {
+  const obs::JsonParseResult parsed = obs::parse_json(response);
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(parsed.value.bool_or("ok", false)) << response;
+  return parsed.value;
+}
+
+/// Generates one topology-preserving edit burst, applying it to the
+/// reference design/skew as it goes (the recorded stream is replayed
+/// through the daemon afterwards).
+std::vector<RecordedEdit> mutate_reference(netlist::Design& design,
+                                           sta::SkewMap& skew,
+                                           util::Rng& rng) {
+  const auto registers = design.registers();
+  const auto pick = [&] {
+    return registers[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(registers.size()) - 1))];
+  };
+  std::vector<RecordedEdit> edits;
+
+  const int nudges = static_cast<int>(rng.uniform_int(1, 5));
+  for (int i = 0; i < nudges; ++i) {
+    const netlist::CellId reg = pick();
+    if (design.cell(reg).fixed) continue;
+    if (rng.chance(0.2)) {
+      skew.erase(reg);
+      edits.push_back({RecordedEdit::Op::kClearSkew, reg});
+    } else {
+      const double value = rng.uniform_real(-0.1, 0.1);
+      skew[reg] = value;
+      RecordedEdit e{RecordedEdit::Op::kSkew, reg};
+      e.skew = value;
+      edits.push_back(e);
+    }
+  }
+
+  if (rng.chance(0.7)) {
+    const netlist::CellId reg = pick();
+    netlist::Cell& cell = design.cell(reg);
+    if (!cell.fixed) {
+      const geom::Rect& core = design.core();
+      const double x =
+          std::clamp(cell.position.x + rng.uniform_real(-6.0, 6.0), core.xlo,
+                     core.xhi - cell.width());
+      const double y =
+          std::clamp(cell.position.y + rng.uniform_real(-6.0, 6.0), core.ylo,
+                     core.yhi - cell.height());
+      cell.position = {x, y};
+      design.notify_moved(reg);
+      RecordedEdit e{RecordedEdit::Op::kMove, reg};
+      e.x = x;
+      e.y = y;
+      edits.push_back(e);
+    }
+  }
+
+  if (rng.chance(0.5)) {
+    const netlist::CellId reg = pick();
+    const netlist::Cell& cell = design.cell(reg);
+    if (!cell.fixed) {
+      auto variants =
+          design.library().cells_for(cell.reg->function, cell.reg->bits);
+      std::erase_if(variants, [&](const lib::RegisterCell* v) {
+        return v->scan_style != cell.reg->scan_style;
+      });
+      if (variants.size() > 1) {
+        const auto* variant =
+            variants[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(variants.size()) - 1))];
+        if (variant != cell.reg) design.swap_register_cell(reg, variant);
+        RecordedEdit e{RecordedEdit::Op::kSwap, reg};
+        e.variant = variant->name;
+        edits.push_back(e);
+      }
+    }
+  }
+  return edits;
+}
+
+struct ExpectedQuery {
+  std::int64_t id = 0;
+  double wns = 0.0;
+  double tns = 0.0;
+  std::vector<netlist::PinId> pins;
+  std::vector<double> pin_slack;
+  std::vector<netlist::CellId> regs;
+  std::vector<double> d_slack;
+};
+
+void expect_double(const obs::JsonValue& object, const char* key,
+                   double want) {
+  const obs::JsonValue* got = object.find(key);
+  ASSERT_NE(got, nullptr) << key;
+  if (std::isfinite(want)) {
+    ASSERT_TRUE(got->is_number()) << key;
+    // Bit-exact: JsonWriter emits shortest-round-trip doubles and the
+    // reader parses them back to the same bits.
+    EXPECT_EQ(got->as_number(), want) << key;
+  } else {
+    EXPECT_TRUE(got->is_null()) << key;  // JSON has no infinities
+  }
+}
+
+// --- the acceptance test ---------------------------------------------------
+//
+// Build one recorded edit stream. Apply it (a) directly: reference design +
+// TimingEngine, serially; (b) through a jobs=1 daemon; (c) through a jobs=4
+// daemon. (b) must report exactly the direct engine's numbers and (c) must
+// produce byte-identical response lines to (b).
+TEST(ServiceTest, DaemonBitIdenticalToDirectEngineAtAnyJobs) {
+  const lib::Library library = lib::make_default_library();
+  benchgen::GeneratedDesign generated = reference_design(library);
+  netlist::Design& reference = generated.design;
+
+  sta::TimingOptions timing;
+  timing.clock_period = generated.calibrated_clock_period;
+  sta::TimingEngine engine(reference, timing);
+  sta::SkewMap skew;
+  util::Rng rng(0x5e11ce);
+
+  const auto registers = reference.registers();
+  ASSERT_GT(registers.size(), 20u);
+
+  std::vector<std::string> transcript;
+  std::vector<ExpectedQuery> expected;
+  // The daemon's open_design calibrates the same clock period benchgen
+  // handed the reference engine (same profile, same seed).
+  transcript.push_back(open_request(1, "s"));
+  std::int64_t next_id = 2;
+  for (int round = 0; round < 8; ++round) {
+    const std::vector<RecordedEdit> edits =
+        mutate_reference(reference, skew, rng);
+    transcript.push_back(edits_request(next_id++, "s", edits));
+
+    const sta::TimingReport& report = engine.update(skew);
+    ExpectedQuery q;
+    q.id = next_id++;
+    q.wns = report.wns();
+    q.tns = report.tns();
+    for (int i = 0; i < 5; ++i) {
+      const netlist::CellId reg = registers[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(registers.size()) - 1))];
+      const netlist::PinId pin = reference.register_d_pin(reg, 0);
+      q.pins.push_back(pin);
+      q.pin_slack.push_back(report.slack(pin));
+      q.regs.push_back(reg);
+      q.d_slack.push_back(report.register_d_slack(reference, reg));
+    }
+    transcript.push_back(query_request(q.id, "s", q.pins, q.regs));
+    expected.push_back(std::move(q));
+  }
+
+  service::Daemon serial(library, {.jobs = 1});
+  const auto serial_responses = run_transcript(serial, transcript);
+  ASSERT_EQ(serial_responses.size(), transcript.size());
+
+  // (b) vs (a): every query reports exactly the direct engine's numbers.
+  for (const ExpectedQuery& q : expected) {
+    ASSERT_TRUE(serial_responses.contains(q.id));
+    const obs::JsonValue response = parse_ok(serial_responses.at(q.id));
+    expect_double(response, "wns", q.wns);
+    expect_double(response, "tns", q.tns);
+    const obs::JsonValue* pins = response.find("pins");
+    ASSERT_NE(pins, nullptr);
+    ASSERT_EQ(pins->array().size(), q.pins.size());
+    for (std::size_t i = 0; i < q.pins.size(); ++i) {
+      const obs::JsonValue& entry = pins->array()[i];
+      EXPECT_EQ(entry.int_or("pin", -1), q.pins[i].index);
+      expect_double(entry, "slack", q.pin_slack[i]);
+    }
+    const obs::JsonValue* regs = response.find("registers");
+    ASSERT_NE(regs, nullptr);
+    ASSERT_EQ(regs->array().size(), q.regs.size());
+    for (std::size_t i = 0; i < q.regs.size(); ++i) {
+      const obs::JsonValue& entry = regs->array()[i];
+      EXPECT_EQ(entry.int_or("cell", -1), q.regs[i].index);
+      expect_double(entry, "d_slack", q.d_slack[i]);
+    }
+  }
+
+  // (c) vs (b): byte-identical responses at jobs = 4.
+  service::Daemon parallel(library, {.jobs = 4});
+  const auto parallel_responses = run_transcript(parallel, transcript);
+  ASSERT_EQ(parallel_responses.size(), serial_responses.size());
+  for (const auto& [id, response] : serial_responses)
+    EXPECT_EQ(parallel_responses.at(id), response) << "request id " << id;
+}
+
+// Concurrent independent sessions: the full request mix (edits, queries,
+// snapshots, rollbacks, recompose, check, list_registers) interleaved
+// across three sessions must produce byte-identical per-request responses
+// at jobs = 1 and jobs = 4, regardless of cross-session scheduling.
+TEST(ServiceTest, ConcurrentSessionsAreByteIdenticalAcrossJobs) {
+  const lib::Library library = lib::make_default_library();
+  std::vector<std::string> transcript;
+  std::int64_t id = 1;
+  const std::vector<std::string> sessions = {"a", "b", "c"};
+  for (const std::string& s : sessions) transcript.push_back(open_request(id++, s));
+
+  // Per-session reference copies only to *author* valid edits; responses
+  // themselves are compared daemon-vs-daemon.
+  std::map<std::string, benchgen::GeneratedDesign> refs;
+  std::map<std::string, sta::SkewMap> skews;
+  for (const std::string& s : sessions) refs.emplace(s, reference_design(library));
+  util::Rng rng(0xc0ffee);
+
+  for (int round = 0; round < 5; ++round) {
+    for (const std::string& s : sessions) {
+      auto& design = refs.at(s).design;
+      const std::vector<RecordedEdit> edits =
+          mutate_reference(design, skews[s], rng);
+      transcript.push_back(edits_request(id++, s, edits));
+      if (round == 1)
+        transcript.push_back(simple_request(id++, "snapshot", s, "r1"));
+      if (round == 3) {
+        transcript.push_back(simple_request(id++, "rollback", s, "r1"));
+        // Mirror the rollback in the reference author copy so later edits
+        // stay valid (positions/variants exist in both worlds).
+        // Rollback restores the session to its round-1 state; the author
+        // copy diverges, but only in ways that do not invalidate edits
+        // (moves clamp to the core; swaps list variants by function).
+      }
+      transcript.push_back(query_request(id++, s, {}, {}));
+      if (round == 4) {
+        transcript.push_back(simple_request(id++, "recompose_region", s));
+        transcript.push_back(simple_request(id++, "check", s));
+      }
+    }
+  }
+  for (const std::string& s : sessions) {
+    std::ostringstream os;
+    obs::JsonWriter w(os, 0);
+    w.begin_object().kv("id", id++).kv("cmd", "list_registers");
+    w.kv("session", s).kv("limit", 10).end_object();
+    transcript.push_back(os.str());
+  }
+
+  service::Daemon serial(library, {.jobs = 1});
+  service::Daemon parallel(library, {.jobs = 4});
+  const auto serial_responses = run_transcript(serial, transcript);
+  const auto parallel_responses = run_transcript(parallel, transcript);
+  ASSERT_EQ(serial_responses.size(), transcript.size());
+  ASSERT_EQ(parallel_responses.size(), transcript.size());
+  for (const auto& [rid, response] : serial_responses)
+    EXPECT_EQ(parallel_responses.at(rid), response) << "request id " << rid;
+}
+
+// Dirty-cone repair, visible through the protocol: topology-preserving
+// edits must never trigger a second full build, and repairs must touch a
+// strict subset of the pins.
+TEST(ServiceTest, QueriesAreServedIncrementally) {
+  const lib::Library library = lib::make_default_library();
+  service::Daemon daemon(library, {.jobs = 1});
+  parse_ok(daemon.handle_sync(open_request(1, "s")));
+
+  const obs::JsonValue first = parse_ok(
+      daemon.handle_sync(query_request(2, "s", {}, {})));
+  EXPECT_EQ(first.find("engine")->int_or("full_builds", -1), 1);
+
+  // Pick a movable register via the protocol itself.
+  const obs::JsonValue regs = parse_ok(daemon.handle_sync(
+      simple_request(3, "list_registers", "s")));
+  std::int64_t cell = -1;
+  for (const obs::JsonValue& entry : regs.find("registers")->array())
+    if (!entry.bool_or("fixed", true)) {
+      cell = entry.int_or("cell", -1);
+      break;
+    }
+  ASSERT_GE(cell, 0);
+
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object().kv("id", 4).kv("cmd", "apply_edits").kv("session", "s");
+  w.key("edits").begin_array().begin_object();
+  w.kv("op", "skew").kv("cell", cell).kv("skew", 0.02);
+  w.end_object().end_array().end_object();
+  parse_ok(daemon.handle_sync(os.str()));
+
+  const obs::JsonValue second = parse_ok(
+      daemon.handle_sync(query_request(5, "s", {}, {})));
+  const obs::JsonValue* engine = second.find("engine");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->int_or("full_builds", -1), 1) << "skew edit forced a rebuild";
+  EXPECT_EQ(engine->int_or("incremental_updates", -1), 1);
+  EXPECT_GT(engine->int_or("repaired_pins", -1), 0);
+}
+
+// snapshot -> edits -> rollback -> the query reports exactly the
+// pre-edit timing numbers (engine stats legitimately differ: rollback
+// forces a rebuild).
+TEST(ServiceTest, RollbackRestoresTimingExactly) {
+  const lib::Library library = lib::make_default_library();
+  service::Daemon daemon(library, {.jobs = 1});
+  parse_ok(daemon.handle_sync(open_request(1, "s")));
+  const obs::JsonValue before = parse_ok(
+      daemon.handle_sync(query_request(2, "s", {}, {})));
+  parse_ok(daemon.handle_sync(simple_request(3, "snapshot", "s", "base")));
+
+  const obs::JsonValue regs = parse_ok(daemon.handle_sync(
+      simple_request(4, "list_registers", "s")));
+  std::vector<RecordedEdit> edits;
+  for (const obs::JsonValue& entry : regs.find("registers")->array()) {
+    if (entry.bool_or("fixed", true)) continue;
+    RecordedEdit e{RecordedEdit::Op::kSkew,
+                   netlist::CellId(static_cast<std::int32_t>(
+                       entry.int_or("cell", -1)))};
+    e.skew = 0.07;
+    edits.push_back(e);
+    if (edits.size() >= 6) break;
+  }
+  ASSERT_FALSE(edits.empty());
+  parse_ok(daemon.handle_sync(edits_request(5, "s", edits)));
+
+  const obs::JsonValue changed = parse_ok(
+      daemon.handle_sync(query_request(6, "s", {}, {})));
+  EXPECT_NE(changed.number_or("tns", 0.0), before.number_or("tns", 1.0));
+
+  parse_ok(daemon.handle_sync(simple_request(7, "rollback", "s", "base")));
+  const obs::JsonValue after = parse_ok(
+      daemon.handle_sync(query_request(8, "s", {}, {})));
+  EXPECT_EQ(after.number_or("wns", -1), before.number_or("wns", -2));
+  EXPECT_EQ(after.number_or("tns", -1), before.number_or("tns", -2));
+  EXPECT_EQ(after.int_or("failing_endpoints", -1),
+            before.int_or("failing_endpoints", -2));
+}
+
+TEST(ServiceTest, ProtocolErrorsAreReported) {
+  const lib::Library library = lib::make_default_library();
+  service::Daemon daemon(library, {.jobs = 1});
+
+  const auto expect_error = [&](const std::string& line,
+                                const std::string& fragment) {
+    const obs::JsonParseResult parsed =
+        obs::parse_json(daemon.handle_sync(line));
+    ASSERT_TRUE(parsed.ok);
+    EXPECT_FALSE(parsed.value.bool_or("ok", true));
+    EXPECT_NE(parsed.value.string_or("error", "").find(fragment),
+              std::string::npos)
+        << parsed.value.string_or("error", "");
+  };
+
+  expect_error("this is not json", "parse error");
+  expect_error("[1,2,3]", "must be a JSON object");
+  expect_error(R"({"id":1,"cmd":"query_timing","session":"nope"})",
+               "unknown session");
+  expect_error(R"({"id":2,"cmd":"open_design","session":"s"})",
+               "profile or a path");
+  // The failed open vacated the name; a real open now succeeds.
+  parse_ok(daemon.handle_sync(open_request(3, "s")));
+  expect_error(open_request(4, "s"), "already open");
+  expect_error(R"({"id":5,"cmd":"frobnicate","session":"s"})", "unknown cmd");
+  expect_error(
+      R"({"id":6,"cmd":"apply_edits","session":"s","edits":[{"op":"move","cell":0,"x":1}]})",
+      "numeric x and y");
+  expect_error(
+      R"({"id":7,"cmd":"apply_edits","session":"s","edits":[{"op":"swap","cell":0,"variant":"NOPE"}]})",
+      "");
+  expect_error(R"({"id":8,"cmd":"rollback","session":"s","name":"ghost"})",
+               "unknown snapshot");
+  parse_ok(daemon.handle_sync(simple_request(9, "close", "s")));
+  expect_error(query_request(10, "s", {}, {}), "unknown session");
+}
+
+// A batch stopping at its first invalid edit reports the prefix applied
+// and the failing index; earlier edits stay applied.
+TEST(ServiceTest, EditBatchStopsAtFirstInvalidEdit) {
+  const lib::Library library = lib::make_default_library();
+  service::Daemon daemon(library, {.jobs = 1});
+  parse_ok(daemon.handle_sync(open_request(1, "s")));
+  const obs::JsonValue regs = parse_ok(daemon.handle_sync(
+      simple_request(2, "list_registers", "s")));
+  std::int64_t movable = -1;
+  for (const obs::JsonValue& entry : regs.find("registers")->array())
+    if (!entry.bool_or("fixed", true)) {
+      movable = entry.int_or("cell", -1);
+      break;
+    }
+  ASSERT_GE(movable, 0);
+
+  std::vector<RecordedEdit> edits;
+  RecordedEdit good{RecordedEdit::Op::kSkew,
+                    netlist::CellId(static_cast<std::int32_t>(movable))};
+  good.skew = 0.01;
+  edits.push_back(good);
+  RecordedEdit bad{RecordedEdit::Op::kSwap,
+                   netlist::CellId(static_cast<std::int32_t>(movable))};
+  bad.variant = "NO_SUCH_CELL";
+  edits.push_back(bad);
+
+  const obs::JsonParseResult parsed =
+      obs::parse_json(daemon.handle_sync(edits_request(3, "s", edits)));
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_FALSE(parsed.value.bool_or("ok", true));
+  EXPECT_EQ(parsed.value.int_or("applied", -1), 1);
+  EXPECT_EQ(parsed.value.int_or("error_index", -1), 1);
+}
+
+// The NDJSON serve loop: requests in, one response line each, shutdown
+// stops the loop.
+TEST(ServiceTest, ServeLoopSpeaksNdjson) {
+  const lib::Library library = lib::make_default_library();
+  service::Daemon daemon(library, {.jobs = 1});
+
+  std::istringstream in(open_request(1, "s") + "\n" +
+                        query_request(2, "s", {}, {}) + "\n" +
+                        R"({"id":3,"cmd":"shutdown"})" "\n" +
+                        R"({"id":4,"cmd":"ping"})" "\n");
+  std::ostringstream out;
+  const std::size_t served = daemon.serve(in, out);
+  EXPECT_EQ(served, 3u);  // the post-shutdown line is never read
+  EXPECT_TRUE(daemon.shutdown_requested());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::int64_t> ids;
+  while (std::getline(lines, line)) {
+    const obs::JsonParseResult parsed = obs::parse_json(line);
+    ASSERT_TRUE(parsed.ok) << line;
+    EXPECT_TRUE(parsed.value.bool_or("ok", false)) << line;
+    ids.push_back(parsed.value.int_or("id", -1));
+  }
+  EXPECT_EQ(ids, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+// recompose_region consumes the touched set: edits -> plan over the edited
+// neighborhood only; a second recompose with nothing touched is empty.
+TEST(ServiceTest, RecomposePlansTouchedSubgraphsOnly) {
+  const lib::Library library = lib::make_default_library();
+  service::Daemon daemon(library, {.jobs = 1});
+  parse_ok(daemon.handle_sync(open_request(1, "s")));
+
+  const obs::JsonValue empty = parse_ok(
+      daemon.handle_sync(simple_request(2, "recompose_region", "s")));
+  EXPECT_EQ(empty.int_or("region_registers", -1), 0);
+  EXPECT_EQ(empty.int_or("subgraphs", -1), 0);
+
+  const obs::JsonValue regs = parse_ok(daemon.handle_sync(
+      simple_request(3, "list_registers", "s")));
+  std::vector<RecordedEdit> edits;
+  for (const obs::JsonValue& entry : regs.find("registers")->array()) {
+    if (entry.bool_or("fixed", true)) continue;
+    RecordedEdit e{RecordedEdit::Op::kSkew,
+                   netlist::CellId(static_cast<std::int32_t>(
+                       entry.int_or("cell", -1)))};
+    e.skew = 0.005;
+    edits.push_back(e);
+    if (edits.size() >= 4) break;
+  }
+  ASSERT_FALSE(edits.empty());
+  parse_ok(daemon.handle_sync(edits_request(4, "s", edits)));
+
+  const obs::JsonValue touched = parse_ok(
+      daemon.handle_sync(simple_request(5, "recompose_region", "s")));
+  EXPECT_EQ(touched.int_or("region_registers", -1),
+            static_cast<std::int64_t>(edits.size()));
+  EXPECT_GE(touched.int_or("subgraphs", -1), 1);
+
+  const obs::JsonValue drained = parse_ok(
+      daemon.handle_sync(simple_request(6, "recompose_region", "s")));
+  EXPECT_EQ(drained.int_or("region_registers", -1), 0);
+}
+
+}  // namespace
+}  // namespace mbrc

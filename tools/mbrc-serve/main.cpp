@@ -1,0 +1,97 @@
+// mbrc-serve: the composition daemon CLI.
+//
+//   mbrc-serve [--jobs N] [--socket PATH] [--idle-timeout SECONDS]
+//              [--check-level off|stage|paranoid]
+//
+// Default transport is stdio: newline-delimited JSON requests on stdin, one
+// response line each on stdout (diagnostics go to stderr). With --socket,
+// the daemon instead listens on a Unix-domain stream socket at PATH and
+// serves every connection the same protocol; sessions are shared across
+// connections. The process exits on a {"cmd": "shutdown"} request, stdin
+// EOF (stdio mode), or the idle timeout (socket mode).
+//
+// See DESIGN.md §12 for the protocol grammar and determinism contract.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "lib/library.hpp"
+#include "service/daemon.hpp"
+#include "service/socket_server.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--jobs N] [--socket PATH] [--idle-timeout SECONDS]"
+               " [--check-level off|stage|paranoid]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mbrc::service::DaemonOptions options;
+  std::string socket_path;
+  double idle_timeout = 0.0;
+  std::string check_level;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.jobs = std::atoi(v);
+    } else if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      socket_path = v;
+    } else if (arg == "--idle-timeout") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      idle_timeout = std::atof(v);
+    } else if (arg == "--check-level") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      check_level = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (options.jobs < 1) options.jobs = 1;
+  if (check_level == "stage") {
+    options.session_defaults.check_level =
+        mbrc::check::CheckLevel::kStageBoundaries;
+  } else if (check_level == "paranoid") {
+    options.session_defaults.check_level = mbrc::check::CheckLevel::kParanoid;
+  } else if (!check_level.empty() && check_level != "off") {
+    return usage(argv[0]);
+  }
+
+  const mbrc::lib::Library library = mbrc::lib::make_default_library();
+  mbrc::service::Daemon daemon(library, options);
+
+  if (!socket_path.empty()) {
+    mbrc::service::SocketServerOptions server_options;
+    server_options.path = socket_path;
+    server_options.idle_timeout_seconds = idle_timeout;
+    mbrc::service::SocketServer server(daemon, server_options);
+    if (!server.start()) {
+      std::cerr << "mbrc-serve: " << server.error() << '\n';
+      return 1;
+    }
+    std::cerr << "mbrc-serve: listening on " << socket_path << " (jobs="
+              << options.jobs << ")\n";
+    const std::size_t connections = server.run();
+    std::cerr << "mbrc-serve: served " << connections << " connection(s)\n";
+    return 0;
+  }
+
+  std::cerr << "mbrc-serve: serving stdio (jobs=" << options.jobs << ")\n";
+  const std::size_t requests = daemon.serve(std::cin, std::cout);
+  std::cerr << "mbrc-serve: served " << requests << " request(s)\n";
+  return 0;
+}
