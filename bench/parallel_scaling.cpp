@@ -13,9 +13,11 @@
 // host to see actual thread scaling.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "benchgen/generator.hpp"
 #include "mbr/flow.hpp"
@@ -53,9 +55,14 @@ double& baseline_seconds() {
   return seconds;
 }
 
-// jobs -> mean flow seconds, collected for the JSON emission in main().
-std::map<int, double>& recorded_runs() {
-  static std::map<int, double> runs;
+// jobs -> mean flow seconds plus mean per-stage seconds, collected for the
+// JSON emission in main().
+struct RunRecord {
+  double flow_seconds = 0.0;
+  std::map<std::string, double> stage_seconds;
+};
+std::map<int, RunRecord>& recorded_runs() {
+  static std::map<int, RunRecord> runs;
   return runs;
 }
 
@@ -68,6 +75,7 @@ void BM_FlowAtJobs(benchmark::State& state) {
   options.jobs = jobs;
 
   double total_seconds = 0.0;
+  std::map<std::string, double> stage_totals;
   std::int64_t iterations = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -77,6 +85,8 @@ void BM_FlowAtJobs(benchmark::State& state) {
     const mbr::FlowResult result = mbr::run_composition_flow(design, options);
     benchmark::DoNotOptimize(result.mbrs_created);
     total_seconds += result.total_seconds;
+    for (const auto& [stage, stats] : result.stages)
+      stage_totals[stage] += stats.seconds;
     ++iterations;
   }
 
@@ -86,7 +96,12 @@ void BM_FlowAtJobs(benchmark::State& state) {
   state.counters["flow_s"] = mean_seconds;
   if (baseline_seconds() > 0.0 && mean_seconds > 0.0)
     state.counters["speedup"] = baseline_seconds() / mean_seconds;
-  recorded_runs()[jobs] = mean_seconds;
+  RunRecord record;
+  record.flow_seconds = mean_seconds;
+  for (const auto& [stage, seconds] : stage_totals)
+    record.stage_seconds[stage] =
+        iterations > 0 ? seconds / static_cast<double>(iterations) : 0.0;
+  recorded_runs()[jobs] = std::move(record);
 }
 
 // jobs = 1 must run first: it seeds the speedup baseline.
@@ -108,18 +123,28 @@ int main(int argc, char** argv) {
 
   const char* env = std::getenv("MBRC_BENCH_JSON");
   const std::string out_path = env ? env : "BENCH_parallel_scaling.json";
-  const double base = recorded_runs().count(1) ? recorded_runs().at(1) : 0.0;
+  const double base =
+      recorded_runs().count(1) ? recorded_runs().at(1).flow_seconds : 0.0;
   std::ofstream out(out_path);
   obs::JsonWriter w(out);
   w.begin_object();
   w.kv("schema", 1).kv("bench", "parallel_scaling");
+  w.kv("hardware_threads",
+       static_cast<std::int64_t>(std::thread::hardware_concurrency()));
   w.key("runs").begin_array();
-  for (const auto& [jobs, seconds] : recorded_runs()) {
+  for (const auto& [jobs, record] : recorded_runs()) {
     w.begin_object()
         .kv("jobs", jobs)
-        .kv("flow_seconds", seconds)
-        .kv("speedup", seconds > 0.0 ? base / seconds : 0.0)
-        .end_object();
+        .kv("flow_seconds", record.flow_seconds)
+        .kv("speedup",
+            record.flow_seconds > 0.0 ? base / record.flow_seconds : 0.0);
+    // Mean wall seconds per flow stage: where the remaining serial time
+    // lives at each job count (stage keys match FlowResult::stages).
+    w.key("stage_seconds").begin_object();
+    for (const auto& [stage, seconds] : record.stage_seconds)
+      w.kv(stage, seconds);
+    w.end_object();
+    w.end_object();
   }
   w.end_array();
   w.end_object();

@@ -95,6 +95,93 @@ const lib::RegisterCell* sample_register_cell(util::Rng& rng,
   return cells[std::min(index, cells.size() - 1)];
 }
 
+// For every cluster, the `pool` nearest clusters by manhattan center
+// distance (the cluster itself included, at distance zero). Small counts
+// keep the exact full sort the source-cluster wiring has always used; past
+// the threshold -- scaled profiles reach tens of thousands of clusters,
+// where C^2 log C comparisons dominate generation -- an expanding-ring
+// search over a uniform bucket grid finds the same nearest set in roughly
+// linear total time. Ties on distance are broken by cluster index; with
+// centers drawn from a continuous distribution, exact ties do not occur, so
+// both strategies select identical pools.
+std::vector<std::vector<int>> nearest_cluster_pools(
+    const std::vector<ClusterSpec>& clusters, double core_w, double core_h,
+    int pool) {
+  const int cluster_count = static_cast<int>(clusters.size());
+  std::vector<std::vector<int>> pools(clusters.size());
+  MBRC_ASSERT(pool >= 1 && pool <= cluster_count);
+
+  if (cluster_count <= 2048) {
+    std::vector<int> by_distance(clusters.size());
+    for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+      const geom::Point center = clusters[ci].center;
+      for (int k = 0; k < cluster_count; ++k) by_distance[k] = k;
+      std::sort(by_distance.begin(), by_distance.end(), [&](int a, int b) {
+        return geom::manhattan(clusters[a].center, center) <
+               geom::manhattan(clusters[b].center, center);
+      });
+      pools[ci].assign(by_distance.begin(), by_distance.begin() + pool);
+    }
+    return pools;
+  }
+
+  // Bucket grid with ~one cluster per bucket.
+  const int grid = std::max(
+      1, static_cast<int>(std::sqrt(static_cast<double>(cluster_count))));
+  const double cell_w = std::max(core_w, 1e-9) / grid;
+  const double cell_h = std::max(core_h, 1e-9) / grid;
+  const auto bucket_x = [&](double x) {
+    return std::clamp(static_cast<int>(x / cell_w), 0, grid - 1);
+  };
+  const auto bucket_y = [&](double y) {
+    return std::clamp(static_cast<int>(y / cell_h), 0, grid - 1);
+  };
+  std::vector<std::vector<int>> buckets(
+      static_cast<std::size_t>(grid) * grid);
+  for (int k = 0; k < cluster_count; ++k)
+    buckets[static_cast<std::size_t>(bucket_y(clusters[k].center.y)) * grid +
+            bucket_x(clusters[k].center.x)]
+        .push_back(k);
+
+  std::vector<std::pair<double, int>> best;  // (distance, index), ascending
+  for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+    const geom::Point center = clusters[ci].center;
+    const int cx = bucket_x(center.x);
+    const int cy = bucket_y(center.y);
+    best.clear();
+    for (int ring = 0; ring < 2 * grid; ++ring) {
+      bool visited_any = false;
+      for (int by = cy - ring; by <= cy + ring; ++by) {
+        if (by < 0 || by >= grid) continue;
+        // Ring cells only: full row on the top/bottom edge, two cells else.
+        const int step =
+            (by == cy - ring || by == cy + ring) ? 1 : std::max(1, 2 * ring);
+        for (int bx = cx - ring; bx <= cx + ring; bx += step) {
+          if (bx < 0 || bx >= grid) continue;
+          visited_any = true;
+          for (int k :
+               buckets[static_cast<std::size_t>(by) * grid + bx])
+            best.emplace_back(geom::manhattan(clusters[k].center, center), k);
+        }
+      }
+      std::sort(best.begin(), best.end());
+      if (static_cast<int>(best.size()) > pool)
+        best.resize(static_cast<std::size_t>(pool));
+      // Everything beyond ring r sits at least (r * min cell extent) away;
+      // once the pool's worst member beats that bound, no further ring can
+      // improve it.
+      const double ring_floor = ring * std::min(cell_w, cell_h);
+      if (static_cast<int>(best.size()) == pool &&
+          best.back().first < ring_floor)
+        break;
+      if (!visited_any && ring > 0) break;  // ring left the grid entirely
+    }
+    pools[ci].reserve(static_cast<std::size_t>(pool));
+    for (const auto& [distance, k] : best) pools[ci].push_back(k);
+  }
+  return pools;
+}
+
 struct Builder {
   const lib::Library& library;
   const DesignProfile& profile;
@@ -181,19 +268,18 @@ struct Builder {
     // each other in a placed design: registers of one cluster then see
     // similar path lengths and end up with similar slacks (timing
     // compatibility), and wiring stays local (realistic congestion).
+    // Only the `pool` nearest clusters are ever drawn from, so the pools are
+    // computed before the rng draws (neighbor search consumes no rng either
+    // way, keeping the stream identical across both search strategies).
+    const int pool = std::min<int>(cluster_count, 5);
+    const std::vector<std::vector<int>> near_pools =
+        nearest_cluster_pools(clusters, core_w, core_h, pool);
     for (int ci = 0; ci < cluster_count; ++ci) {
       ClusterSpec& c = clusters[ci];
-      std::vector<int> by_distance(cluster_count);
-      for (int k = 0; k < cluster_count; ++k) by_distance[k] = k;
-      std::sort(by_distance.begin(), by_distance.end(), [&](int a, int b) {
-        return geom::manhattan(clusters[a].center, c.center) <
-               geom::manhattan(clusters[b].center, c.center);
-      });
       const int fanin = rng.chance(0.75) ? 1 : 2;
-      const int pool = std::min<int>(cluster_count, 5);
       for (int s = 0; s < fanin; ++s)
-        c.source_clusters.push_back(by_distance[static_cast<std::size_t>(
-            rng.uniform_int(0, pool - 1))]);
+        c.source_clusters.push_back(near_pools[static_cast<std::size_t>(ci)]
+            [static_cast<std::size_t>(rng.uniform_int(0, pool - 1))]);
     }
 
     // --- clock, control and scan-enable infrastructure ----------------
@@ -526,6 +612,17 @@ std::vector<DesignProfile> standard_profiles() {
   profiles[4].comb_per_register = 10.0;
   profiles[4].scan_partitions = 6;
 
+  return profiles;
+}
+
+std::vector<DesignProfile> scaled_profiles(int factor) {
+  MBRC_ASSERT(factor >= 1);
+  std::vector<DesignProfile> profiles = standard_profiles();
+  for (DesignProfile& p : profiles) {
+    p.name += "x";
+    p.name += std::to_string(factor);
+    p.register_cells *= factor;
+  }
   return profiles;
 }
 

@@ -70,6 +70,14 @@ struct DesignProfile {
 /// at roughly 1/10 scale.
 std::vector<DesignProfile> standard_profiles();
 
+/// The standard profiles with `factor`-times the register count (and the
+/// proportional combinational budget) for scaling studies; structure per
+/// register -- cluster size, width mix, logic depth, control diversity --
+/// is unchanged, so a factor-F design is F small designs' worth of the same
+/// fabric, not a different fabric. D1 at factor 340 is ~1M registers.
+/// Names gain an "xF" suffix ("D1x100").
+std::vector<DesignProfile> scaled_profiles(int factor);
+
 struct GeneratedDesign {
   netlist::Design design;
   double calibrated_clock_period = 0.0;  // ns, hits the failing fraction

@@ -20,11 +20,15 @@ struct Node {
 };
 
 // Groups `nodes` into clusters bounded by load/fanout, inserting one buffer
-// per cluster. Returns the next level's nodes and accumulates stats.
+// per cluster. Returns the next level's nodes and accumulates stats. With
+// `fanout_only` the load budget is ignored and clusters close on max_fanout
+// alone, so the level shrinks by that factor no matter how far apart the
+// nodes sit (see the progress guarantee in collapse_to_root).
 std::vector<Node> cluster_level(std::vector<Node> nodes,
                                 const lib::Library& library,
                                 const CtsOptions& options,
-                                ClockTreeStats& stats) {
+                                ClockTreeStats& stats,
+                                bool fanout_only = false) {
   MBRC_ASSERT(!library.clock_buffers().empty());
   const auto& buffers = library.clock_buffers();
   const double max_load =
@@ -77,7 +81,7 @@ std::vector<Node> cluster_level(std::vector<Node> nodes,
       star += geom::manhattan(c, cand.position);
       const double load =
           sink_cap + cand.cap + star * options.wire_cap_per_um;
-      if (!cluster.empty() && load > max_load) break;
+      if (!fanout_only && !cluster.empty() && load > max_load) break;
       cluster.push_back(&cand);
       centroid = c;
       sink_cap += cand.cap;
@@ -106,6 +110,37 @@ std::vector<Node> cluster_level(std::vector<Node> nodes,
     next.push_back({centroid, chosen->input_pin_cap});
   }
   return next;
+}
+
+// Reduces one sink set to a single root, a buffered level at a time,
+// returning the root node and folding the level count into stats.
+//
+// Progress guarantee: on a large enough core, two far-apart nodes carry
+// more star-wire cap than even the largest clock buffer may drive, so a
+// load-budgeted level can return every node as its own singleton cluster
+// -- same size as its input, looping forever (a physical tree drives such
+// spans through repeater chains instead of giving up). When a level makes
+// no progress it is redone fanout-only, which shrinks it by max_fanout and
+// charges the same wire and buffer caps; the overloaded buffers stand in
+// for the repeaters the estimate does not model.
+std::vector<Node> collapse_to_root(std::vector<Node> level,
+                                   const lib::Library& library,
+                                   const CtsOptions& options,
+                                   ClockTreeStats& stats) {
+  MBRC_ASSERT(options.max_fanout >= 2);
+  int levels = 0;
+  while (level.size() > 1) {
+    const std::size_t before = level.size();
+    level = cluster_level(std::move(level), library, options, stats);
+    ++levels;
+    if (level.size() == before) {
+      level = cluster_level(std::move(level), library, options, stats,
+                            /*fanout_only=*/true);
+      ++levels;
+    }
+  }
+  stats.levels = std::max(stats.levels, levels);
+  return level;
 }
 
 }  // namespace
@@ -137,26 +172,14 @@ ClockTreeStats estimate_clock_tree(const netlist::Design& design,
 
   std::map<std::int32_t, std::vector<Node>> roots_per_clock;
   for (auto& [key, nodes] : groups) {
-    int levels = 0;
-    std::vector<Node> level = std::move(nodes);
-    while (level.size() > 1) {
-      level = cluster_level(std::move(level), design.library(), options, stats);
-      ++levels;
-    }
-    stats.levels = std::max(stats.levels, levels);
+    std::vector<Node> level =
+        collapse_to_root(std::move(nodes), design.library(), options, stats);
     if (!level.empty()) roots_per_clock[key.first].push_back(level.front());
   }
 
   // Combine gating-group roots up to one root per clock net.
-  for (auto& [clock, roots] : roots_per_clock) {
-    int levels = 0;
-    std::vector<Node> level = std::move(roots);
-    while (level.size() > 1) {
-      level = cluster_level(std::move(level), design.library(), options, stats);
-      ++levels;
-    }
-    stats.levels = std::max(stats.levels, levels);
-  }
+  for (auto& [clock, roots] : roots_per_clock)
+    collapse_to_root(std::move(roots), design.library(), options, stats);
   return stats;
 }
 

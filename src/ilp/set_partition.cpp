@@ -12,53 +12,20 @@ namespace mbrc::ilp {
 
 namespace {
 
-// Fixed-capacity bitset over 64-bit words sized at runtime.
-class Bits {
-public:
-  explicit Bits(int bit_count)
-      : words_((bit_count + 63) / 64, 0), bit_count_(bit_count) {}
-
-  void set(int i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
-  bool test(int i) const {
-    return (words_[i >> 6] >> (i & 63)) & 1;
-  }
-  bool intersects(const Bits& o) const {
-    for (std::size_t w = 0; w < words_.size(); ++w)
-      if (words_[w] & o.words_[w]) return true;
-    return false;
-  }
-  void or_with(const Bits& o) {
-    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
-  }
-  void and_not(const Bits& o) {
-    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~o.words_[w];
-  }
-  bool all_set() const {
-    int remaining = bit_count_;
-    for (std::uint64_t w : words_) {
-      const int take = std::min(remaining, 64);
-      const std::uint64_t mask =
-          take == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << take) - 1);
-      if ((w & mask) != mask) return false;
-      remaining -= take;
-    }
-    return true;
-  }
-
-private:
-  std::vector<std::uint64_t> words_;
-  int bit_count_ = 0;
-};
-
 struct Search {
   const SetPartitionProblem& problem;
   const SetPartitionOptions& options;
 
-  std::vector<Bits> candidate_bits;          // element mask per candidate
+  // Element masks live SoA-flat: candidate c owns words
+  // [c*words, (c+1)*words) of candidate_words, so building the search
+  // state costs two allocations total instead of one per candidate, and
+  // the masks the inner loop walks sit contiguously in cache.
+  int words = 0;  // 64-bit words per element mask
+  std::vector<std::uint64_t> candidate_words;
   std::vector<std::vector<int>> covering;    // per element: candidate ids by weight
   std::vector<double> min_ratio;             // per element: min w/|cover|
 
-  Bits covered;
+  std::vector<std::uint64_t> covered;
   std::vector<int> chosen;
   double cost = 0.0;
   double bound_remaining = 0.0;  // sum of min_ratio over uncovered elements
@@ -69,21 +36,38 @@ struct Search {
   std::int64_t bound_prunes = 0;
   bool budget_hit = false;
 
+  const std::uint64_t* mask(int c) const {
+    return candidate_words.data() + static_cast<std::size_t>(c) * words;
+  }
+  bool covered_test(int e) const {
+    return (covered[e >> 6] >> (e & 63)) & 1;
+  }
+  bool mask_hits_covered(int c) const {
+    const std::uint64_t* m = mask(c);
+    for (int w = 0; w < words; ++w)
+      if (m[w] & covered[w]) return true;
+    return false;
+  }
+
   Search(const SetPartitionProblem& p, const SetPartitionOptions& o)
-      : problem(p), options(o), covered(p.element_count) {
+      : problem(p),
+        options(o),
+        words((p.element_count + 63) / 64),
+        covered(static_cast<std::size_t>((p.element_count + 63) / 64), 0) {
     const int n = p.element_count;
     covering.resize(n);
     min_ratio.assign(n, std::numeric_limits<double>::infinity());
-    candidate_bits.reserve(p.candidates.size());
+    candidate_words.assign(p.candidates.size() * static_cast<std::size_t>(words),
+                           0);
     for (std::size_t c = 0; c < p.candidates.size(); ++c) {
       const auto& cand = p.candidates[c];
-      Bits bits(n);
+      std::uint64_t* bits = candidate_words.data() + c * words;
       for (int e : cand.elements) {
         MBRC_ASSERT_MSG(e >= 0 && e < n, "element id out of range");
-        MBRC_ASSERT_MSG(!bits.test(e), "duplicate element in candidate");
-        bits.set(e);
+        MBRC_ASSERT_MSG(!((bits[e >> 6] >> (e & 63)) & 1),
+                        "duplicate element in candidate");
+        bits[e >> 6] |= std::uint64_t{1} << (e & 63);
       }
-      candidate_bits.push_back(std::move(bits));
       if (cand.elements.empty()) continue;
       const double ratio =
           cand.weight / static_cast<double>(cand.elements.size());
@@ -110,10 +94,10 @@ struct Search {
     int best = -1;
     int best_count = std::numeric_limits<int>::max();
     for (int e = 0; e < problem.element_count; ++e) {
-      if (covered.test(e)) continue;
+      if (covered_test(e)) continue;
       int count = 0;
       for (int c : covering[e]) {
-        if (!candidate_bits[c].intersects(covered)) {
+        if (!mask_hits_covered(c)) {
           ++count;
           if (count >= best_count) break;
         }
@@ -150,9 +134,10 @@ struct Search {
 
     for (int c : covering[element]) {
       const auto& cand = problem.candidates[c];
-      if (candidate_bits[c].intersects(covered)) continue;
+      if (mask_hits_covered(c)) continue;
       // Apply.
-      covered.or_with(candidate_bits[c]);
+      const std::uint64_t* m = mask(c);
+      for (int w = 0; w < words; ++w) covered[w] |= m[w];
       chosen.push_back(c);
       cost += cand.weight;
       double removed_bound = 0.0;
@@ -165,7 +150,7 @@ struct Search {
       bound_remaining += removed_bound;
       cost -= cand.weight;
       chosen.pop_back();
-      covered.and_not(candidate_bits[c]);
+      for (int w = 0; w < words; ++w) covered[w] &= ~m[w];
       if (budget_hit) return;
     }
   }

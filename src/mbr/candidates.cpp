@@ -6,6 +6,7 @@
 
 #include "geom/convex_hull.hpp"
 #include "obs/counters.hpp"
+#include "util/arena.hpp"
 #include "util/assert.hpp"
 
 namespace mbrc::mbr {
@@ -110,22 +111,35 @@ const lib::RegisterCell* cheapest_cell(const lib::Library& library,
                            });
 }
 
+// Per-worker scratch arena for the enumeration DFS: one reset per subgraph,
+// so the adjacency masks, the SoA node arrays and the DFS stack reuse the
+// same cache-warm pages instead of hitting the global allocator from every
+// pool lane.
+thread_local util::Arena enumerate_arena;
+
 struct Enumerator {
   const CompatibilityGraph& graph;
   const lib::Library& library;
   const BlockerIndex& blockers;
   const EnumerationOptions& options;
+  util::Arena& arena;
 
   std::vector<int> nodes;              // subgraph, ascending graph indices
-  std::vector<std::uint64_t> adjacency;  // local masks
-  std::vector<int> widths;             // ascending library widths
-  lib::RegisterFunction function;
+  util::ArenaVector<std::uint64_t> adjacency{
+      util::ArenaAllocator<std::uint64_t>(&arena)};  // local masks
+  std::vector<int> widths{};           // ascending library widths
+  lib::RegisterFunction function{};
   bool has_per_bit_scan_cells = false;
 
-  EnumerationResult result;
+  EnumerationResult result{};
 
-  // DFS state.
-  std::vector<int> members_local;
+  // DFS state. The inner loop reads only these flat SoA arrays (bit count
+  // and feasible region per local node), not the ~150-byte RegisterInfo
+  // records scattered through the graph's node table.
+  util::ArenaVector<int> members_local{util::ArenaAllocator<int>(&arena)};
+  util::ArenaVector<int> node_bits{util::ArenaAllocator<int>(&arena)};
+  util::ArenaVector<geom::Rect> node_region{
+      util::ArenaAllocator<geom::Rect>(&arena)};
 
   void emit(int bits, const geom::Rect& region) {
     if (result.candidates.size() >= options.max_candidates_per_subgraph) {
@@ -202,10 +216,10 @@ struct Enumerator {
       }
       if (!adjacent_to_all) continue;
 
-      const RegisterInfo& info = graph.node(nodes[v]);
-      const int new_bits = bits + info.bits;
+      const int new_bits = bits + node_bits[static_cast<std::size_t>(v)];
       if (new_bits > max_width) continue;  // other (narrower) nodes may fit
-      const geom::Rect new_region = region.intersect(info.region);
+      const geom::Rect new_region =
+          region.intersect(node_region[static_cast<std::size_t>(v)]);
       if (new_region.is_empty()) continue;  // no shared spot for the MBR
 
       members_local.push_back(v);
@@ -233,21 +247,42 @@ struct Enumerator {
       }
     }
 
-    adjacency.assign(n, 0);
-    for (int i = 0; i < n; ++i)
-      for (int j = i + 1; j < n; ++j)
-        if (graph.has_edge(nodes[i], nodes[j])) {
-          adjacency[i] |= std::uint64_t{1} << j;
-          adjacency[j] |= std::uint64_t{1} << i;
+    // Local adjacency masks by merging each node's sorted neighbor list
+    // against the sorted subgraph (O(degree + n) per node) instead of the
+    // n^2/2 has_edge binary searches this replaces.
+    adjacency.assign(static_cast<std::size_t>(n), 0);
+    node_bits.resize(static_cast<std::size_t>(n));
+    node_region.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const std::vector<int>& neighbors = graph.neighbors(nodes[i]);
+      std::size_t a = 0;
+      std::size_t b = 0;
+      std::uint64_t mask = 0;
+      while (a < neighbors.size() && b < nodes.size()) {
+        if (neighbors[a] < nodes[b]) {
+          ++a;
+        } else if (neighbors[a] > nodes[b]) {
+          ++b;
+        } else {
+          mask |= std::uint64_t{1} << b;
+          ++a;
+          ++b;
         }
+      }
+      adjacency[static_cast<std::size_t>(i)] = mask;
+      const RegisterInfo& info = graph.node(nodes[i]);
+      node_bits[static_cast<std::size_t>(i)] = info.bits;
+      node_region[static_cast<std::size_t>(i)] = info.region;
+    }
 
     // Singletons first (always feasible cover), then the DFS over cliques
     // of size >= 2 starting at each node.
     for (int v = 0; v < n; ++v) {
-      const RegisterInfo& info = graph.node(nodes[v]);
       members_local.assign(1, v);
-      emit(info.bits, info.region);
-      dfs(v, info.bits, info.region);
+      emit(node_bits[static_cast<std::size_t>(v)],
+           node_region[static_cast<std::size_t>(v)]);
+      dfs(v, node_bits[static_cast<std::size_t>(v)],
+          node_region[static_cast<std::size_t>(v)]);
       members_local.clear();
     }
 
@@ -283,9 +318,9 @@ EnumerationResult enumerate_candidates(const CompatibilityGraph& graph,
                                        const BlockerIndex& blockers,
                                        const std::vector<int>& subgraph,
                                        const EnumerationOptions& options) {
-  Enumerator enumerator{graph, library, blockers, options,
-                        subgraph, {},     {},      {},
-                        false,   {},     {}};
+  enumerate_arena.reset();
+  Enumerator enumerator{graph, library, blockers, options, enumerate_arena,
+                        subgraph};
   enumerator.run();
 
   static obs::Counter& c_calls = obs::counter("mbr.candidates.calls");

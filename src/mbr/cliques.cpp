@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "obs/counters.hpp"
+#include "util/arena.hpp"
 #include "util/assert.hpp"
 
 namespace mbrc::mbr {
@@ -13,9 +14,14 @@ namespace {
 
 using Mask = std::uint64_t;
 
+// Per-worker scratch arena: clique enumeration runs once per subgraph on
+// pool workers, and its short-lived mask/clique vectors otherwise hammer
+// the global allocator from every lane. Each call rewinds its own arena.
+thread_local util::Arena clique_arena;
+
 struct BronKerbosch {
-  const std::vector<Mask>& adjacency;  // local adjacency masks
-  std::vector<Mask> cliques;
+  const util::ArenaVector<Mask>& adjacency;  // local adjacency masks
+  util::ArenaVector<Mask> cliques;
 
   void expand(Mask r, Mask p, Mask x) {
     if (p == 0 && x == 0) {
@@ -55,18 +61,33 @@ std::vector<std::vector<int>> maximal_cliques(const CompatibilityGraph& graph,
                            "partition the component first");
   if (n == 0) return {};
 
-  // Local adjacency masks restricted to `nodes`.
-  std::vector<Mask> adjacency(n, 0);
+  clique_arena.reset();
+  const util::ArenaAllocator<Mask> alloc(&clique_arena);
+
+  // Local adjacency masks restricted to `nodes`: merge each node's sorted
+  // neighbor list against the sorted subgraph (O(degree + n) per node)
+  // instead of the n^2/2 has_edge binary searches this replaces.
+  util::ArenaVector<Mask> adjacency(static_cast<std::size_t>(n), 0, alloc);
   for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      if (graph.has_edge(nodes[i], nodes[j])) {
-        adjacency[i] |= Mask{1} << j;
-        adjacency[j] |= Mask{1} << i;
+    const std::vector<int>& neighbors = graph.neighbors(nodes[i]);
+    std::size_t a = 0;
+    std::size_t b = 0;
+    Mask mask = 0;
+    while (a < neighbors.size() && b < nodes.size()) {
+      if (neighbors[a] < nodes[b]) {
+        ++a;
+      } else if (neighbors[a] > nodes[b]) {
+        ++b;
+      } else {
+        mask |= Mask{1} << b;
+        ++a;
+        ++b;
       }
     }
+    adjacency[static_cast<std::size_t>(i)] = mask;
   }
 
-  BronKerbosch bk{adjacency, {}};
+  BronKerbosch bk{adjacency, util::ArenaVector<Mask>(alloc)};
   const Mask all = n == 64 ? ~Mask{0} : (Mask{1} << n) - 1;
   bk.expand(0, all, 0);
 

@@ -6,6 +6,7 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "runtime/thread_pool.hpp"
 #include "util/assert.hpp"
 
 namespace mbrc::mbr {
@@ -38,6 +39,12 @@ void CompatibilityGraph::add_edge(int a, int b) {
   adjacency_[a].push_back(b);
   adjacency_[b].push_back(a);
   dirty_ = true;
+}
+
+void CompatibilityGraph::reserve_degrees(const std::vector<int>& degrees) {
+  MBRC_ASSERT(static_cast<int>(degrees.size()) == node_count());
+  for (int i = 0; i < node_count(); ++i)
+    adjacency_[i].reserve(static_cast<std::size_t>(degrees[i]));
 }
 
 void CompatibilityGraph::finalize() {
@@ -176,10 +183,20 @@ CompatibilityGraph build_compatibility_graph(
     const netlist::Design& design, const sta::TimingReport& timing,
     const CompatibilityOptions& options) {
   CompatibilityGraph graph;
-  for (netlist::CellId cell : design.registers()) {
-    if (!is_composable(design, cell)) continue;
-    graph.add_node(make_register_info(design, timing, cell, options));
-  }
+  // Node infos fan out over the pool: make_register_info only reads the
+  // design and the timing report (timing_feasible_region dominates), each
+  // writing its own pre-sized slot. add_node consumes the slots in register
+  // order, so node ids match the serial loop at any job count.
+  std::vector<netlist::CellId> composable;
+  for (netlist::CellId cell : design.registers())
+    if (is_composable(design, cell)) composable.push_back(cell);
+  std::vector<RegisterInfo> infos = runtime::parallel_transform(
+      &runtime::ThreadPool::global(), options.jobs, composable,
+      [&](netlist::CellId cell) {
+        return make_register_info(design, timing, cell, options);
+      },
+      /*grain=*/16);
+  for (RegisterInfo& info : infos) graph.add_node(std::move(info));
 
   // Functional compatibility is an equivalence: group first, then do the
   // geometric/timing pair checks only within a group, with a spatial grid
@@ -196,53 +213,87 @@ CompatibilityGraph build_compatibility_graph(
         .push_back(i);
   }
 
+  // Spatial hash per group: bin by center; candidate pairs live in the 3x3
+  // block. Neighbor probing works in integer bin coordinates: re-deriving a
+  // neighbor's key from the float point c + d*bin can land in the wrong
+  // bin when c sits at a bin boundary (the rounded sum crosses it),
+  // silently dropping compatible pairs.
+  // The bins are a sorted flat (key, node) vector rather than a hash map:
+  // probing walks a lower_bound range, so candidate pairs are visited in
+  // (bin key, node index) order on every platform.
   const double bin = std::max(1.0, options.max_distance);
+  auto key_of = [](std::int64_t bx, std::int64_t by) {
+    return (bx << 32) ^ (by & 0xffffffff);
+  };
+  auto bin_coord = [&](double v) {
+    return static_cast<std::int64_t>(std::floor(v / bin));
+  };
+
+  // Edge detection fans out per node: each task walks its own 3x3 bin block
+  // and returns node i's forward (j > i) edges. Tasks only read the node
+  // array and their group's bins; the reduction below appends the per-node
+  // lists in (group, node) order and finalize() sorts each adjacency, so
+  // the graph is byte-identical to the serial double loop at any job count.
+  struct NodeTask {
+    int node;
+    const std::vector<std::pair<std::int64_t, int>>* bins;
+  };
+  std::vector<std::vector<std::pair<std::int64_t, int>>> group_bins;
+  group_bins.reserve(groups.size());
+  std::vector<NodeTask> tasks;
+  tasks.reserve(graph.node_count());
   for (const auto& [key, members] : groups) {
-    // Spatial hash: bin by center; candidate pairs live in the 3x3 block.
-    // Neighbor probing works in integer bin coordinates: re-deriving a
-    // neighbor's key from the float point c + d*bin can land in the wrong
-    // bin when c sits at a bin boundary (the rounded sum crosses it),
-    // silently dropping compatible pairs.
-    // The bins are a sorted flat (key, node) vector rather than a hash map:
-    // probing walks a lower_bound range, so candidate pairs are visited in
-    // (bin key, node index) order on every platform.
-    auto key_of = [](std::int64_t bx, std::int64_t by) {
-      return (bx << 32) ^ (by & 0xffffffff);
-    };
-    auto bin_coord = [&](double v) {
-      return static_cast<std::int64_t>(std::floor(v / bin));
-    };
-    std::vector<std::pair<std::int64_t, int>> bins;
-    bins.reserve(members.size());
+    auto& bins_of_group = group_bins.emplace_back();
+    bins_of_group.reserve(members.size());
     for (int i : members) {
       const geom::Point c = graph.node(i).center();
-      bins.emplace_back(key_of(bin_coord(c.x), bin_coord(c.y)), i);
+      bins_of_group.emplace_back(key_of(bin_coord(c.x), bin_coord(c.y)), i);
     }
-    std::sort(bins.begin(), bins.end());
+    std::sort(bins_of_group.begin(), bins_of_group.end());
+    for (int i : members) tasks.push_back({i, &bins_of_group});
+  }
 
-    for (int i : members) {
-      const RegisterInfo& a = graph.node(i);
-      const geom::Point c = a.center();
-      const std::int64_t bx = bin_coord(c.x);
-      const std::int64_t by = bin_coord(c.y);
-      for (int dx = -1; dx <= 1; ++dx) {
-        for (int dy = -1; dy <= 1; ++dy) {
-          const std::int64_t probe = key_of(bx + dx, by + dy);
-          for (auto it = std::lower_bound(bins.begin(), bins.end(),
-                                          std::pair{probe, -1});
-               it != bins.end() && it->first == probe; ++it) {
-            const int j = it->second;
-            if (j <= i) continue;  // each unordered pair once
-            const RegisterInfo& b = graph.node(j);
-            if (!placement_compatible(a, b, options)) continue;
-            if (!timing_compatible(a, b, options)) continue;
-            MBRC_ASSERT(functionally_compatible(a, b) && scan_compatible(a, b));
-            graph.add_edge(i, j);
+  const std::vector<std::vector<int>> forward = runtime::parallel_transform(
+      &runtime::ThreadPool::global(), options.jobs, tasks,
+      [&](const NodeTask& task) {
+        std::vector<int> out;
+        const int i = task.node;
+        const RegisterInfo& a = graph.node(i);
+        const geom::Point c = a.center();
+        const std::int64_t bx = bin_coord(c.x);
+        const std::int64_t by = bin_coord(c.y);
+        for (int dx = -1; dx <= 1; ++dx) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            const std::int64_t probe = key_of(bx + dx, by + dy);
+            for (auto it = std::lower_bound(task.bins->begin(),
+                                            task.bins->end(),
+                                            std::pair{probe, -1});
+                 it != task.bins->end() && it->first == probe; ++it) {
+              const int j = it->second;
+              if (j <= i) continue;  // each unordered pair once
+              const RegisterInfo& b = graph.node(j);
+              if (!placement_compatible(a, b, options)) continue;
+              if (!timing_compatible(a, b, options)) continue;
+              MBRC_ASSERT(functionally_compatible(a, b) &&
+                          scan_compatible(a, b));
+              out.push_back(j);
+            }
           }
         }
-      }
-    }
+        return out;
+      },
+      /*grain=*/32);
+
+  // Exact degree pre-count so the bulk add_edge pass below appends into
+  // right-sized adjacency lists instead of reallocating them as they grow.
+  std::vector<int> degrees(graph.node_count(), 0);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    degrees[tasks[t].node] += static_cast<int>(forward[t].size());
+    for (int j : forward[t]) ++degrees[j];
   }
+  graph.reserve_degrees(degrees);
+  for (std::size_t t = 0; t < tasks.size(); ++t)
+    for (int j : forward[t]) graph.add_edge(tasks[t].node, j);
   graph.finalize();
   return graph;
 }

@@ -37,6 +37,12 @@ struct CompatibilityOptions {
   /// (um). Keeps the graph sparse on large designs.
   double max_distance = 60.0;
   sta::FeasibleRegionOptions region;
+  /// Thread lanes for the per-register info pass and the per-node edge
+  /// detection. Both fan out over pre-sized slots and reduce on the calling
+  /// thread in node order, so the graph is bit-identical at any job count;
+  /// 1 runs the serial loops. plan_composition overrides this with the
+  /// flow-wide jobs knob.
+  int jobs = 1;
 };
 
 /// Everything the composition engine needs to know about one composable
@@ -86,6 +92,11 @@ public:
   // assert that the graph is finalized.
   int add_node(RegisterInfo info);
   void add_edge(int a, int b);
+  /// Pre-sizes each adjacency list from an exact (or upper-bound) degree
+  /// count so the bulk add_edge pass never reallocates. Optional: add_edge
+  /// works without it, at the cost of log(degree) grow-reallocations per
+  /// list on large subgraph batches.
+  void reserve_degrees(const std::vector<int>& degrees);
   void finalize();
 
 private:

@@ -103,11 +103,23 @@ void plan_over_subgraphs(CompositionPlan& plan, const netlist::Design& design,
 
 }  // namespace
 
+namespace {
+
+// The flow-wide jobs knob also drives the compatibility-graph fan-out.
+CompatibilityOptions compatibility_with_jobs(const CompositionOptions& options) {
+  CompatibilityOptions compatibility = options.compatibility;
+  compatibility.jobs = options.jobs;
+  return compatibility;
+}
+
+}  // namespace
+
 CompositionPlan plan_composition(const netlist::Design& design,
                                  const sta::TimingReport& timing,
                                  const CompositionOptions& options) {
   CompositionPlan plan;
-  plan.graph = build_compatibility_graph(design, timing, options.compatibility);
+  plan.graph =
+      build_compatibility_graph(design, timing, compatibility_with_jobs(options));
   const auto subgraphs = partition_graph(plan.graph, design, options.partition);
   plan_over_subgraphs(plan, design, subgraphs, options);
   return plan;
@@ -118,7 +130,8 @@ CompositionPlan plan_composition_region(
     const std::vector<netlist::CellId>& region,
     const CompositionOptions& options) {
   CompositionPlan plan;
-  plan.graph = build_compatibility_graph(design, timing, options.compatibility);
+  plan.graph =
+      build_compatibility_graph(design, timing, compatibility_with_jobs(options));
 
   std::vector<netlist::CellId> sorted_region = region;
   std::sort(sorted_region.begin(), sorted_region.end());

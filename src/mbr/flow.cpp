@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <fstream>
 #include <future>
+#include <unordered_set>
 
 #include "mbr/report.hpp"
+#include "obs/counters.hpp"
 #include "sta/timing_engine.hpp"
 #include "util/assert.hpp"
 #include "util/stopwatch.hpp"
@@ -253,22 +255,89 @@ FlowResult run_flow_stages(netlist::Design& design,
   std::vector<netlist::CellId> new_cells;
   {
     runtime::StageTimer timer(stage_metrics, "apply");
+    const std::vector<const Selection*> merges = result.plan.merges();
+
+    // Mapping and the per-MBR LP placement solves fan out over the pool as
+    // a *speculative* pass against the pre-apply design, each task writing
+    // its own pre-sized slot. map_candidate reads only the library and the
+    // plan graph, so its result never depends on apply order. place_mbr
+    // reads exactly the members' D/Q nets; each task records that read set,
+    // and the serial rewire loop below replays the solve in place for the
+    // few selections whose read set intersects a net an earlier rewire
+    // touched. Untouched selections keep the speculative bytes, touched
+    // ones are recomputed at the same point the serial loop would have —
+    // the stage output is bit-identical to the serial flow at any `jobs`.
+    struct Prepared {
+      std::optional<Mapping> mapping;
+      geom::Point position;
+      std::vector<std::int32_t> read_nets;  // member D/Q nets, sorted unique
+    };
+    const std::vector<Prepared> prepared = runtime::parallel_transform(
+        &runtime::ThreadPool::global(), options.jobs, merges,
+        [&](const Selection* selection) {
+          obs::Span span("apply.map_place");
+          Prepared p;
+          p.mapping = map_candidate(design, result.plan.graph,
+                                    selection->candidate, options.mapping);
+          if (!p.mapping) return p;
+          p.position =
+              place_mbr(design, result.plan.graph, selection->candidate,
+                        *p.mapping, options.placement);
+          for (int node : selection->candidate.nodes) {
+            const RegisterInfo& info = result.plan.graph.node(node);
+            for (int bit = 0; bit < info.bits; ++bit) {
+              for (const netlist::PinId pin :
+                   {design.register_d_pin(info.cell, bit),
+                    design.register_q_pin(info.cell, bit)}) {
+                if (!pin.valid()) continue;
+                const netlist::NetId net = design.pin(pin).net;
+                if (net.valid()) p.read_nets.push_back(net.index);
+              }
+            }
+          }
+          std::sort(p.read_nets.begin(), p.read_nets.end());
+          p.read_nets.erase(
+              std::unique(p.read_nets.begin(), p.read_nets.end()),
+              p.read_nets.end());
+          return p;
+        });
+
+    static obs::Counter& replays = obs::counter("flow.apply.replayed");
+    std::unordered_set<std::int32_t> touched_nets;
+    const auto touch_cell_nets = [&](netlist::CellId id) {
+      for (const netlist::PinId pin : design.cell(id).pins) {
+        const netlist::NetId net = design.pin(pin).net;
+        if (net.valid()) touched_nets.insert(net.index);
+      }
+    };
+
     int name_counter = 0;
-    for (const Selection* selection : result.plan.merges()) {
-      std::string why;
-      const auto mapping = map_candidate(design, result.plan.graph,
-                                         selection->candidate, options.mapping,
-                                         &why);
-      if (!mapping) {
+    for (std::size_t m = 0; m < merges.size(); ++m) {
+      const Selection* selection = merges[m];
+      const Prepared& p = prepared[m];
+      if (!p.mapping) {
         ++result.rejected_at_mapping;
         continue;
       }
-      const geom::Point position =
-          place_mbr(design, result.plan.graph, selection->candidate, *mapping,
-                    options.placement);
+      geom::Point position = p.position;
+      const bool stale = std::any_of(
+          p.read_nets.begin(), p.read_nets.end(),
+          [&](std::int32_t net) { return touched_nets.count(net) > 0; });
+      if (stale) {
+        // An earlier rewire edited a net this solve read; redo it here,
+        // where the design state matches the serial loop's.
+        replays.add(1);
+        position = place_mbr(design, result.plan.graph, selection->candidate,
+                             *p.mapping, options.placement);
+      }
+      // The write set: every net incident to a member (the rewire moves or
+      // drops those pins), plus the new MBR's nets afterwards.
+      for (int node : selection->candidate.nodes)
+        touch_cell_nets(result.plan.graph.node(node).cell);
       const netlist::CellId mbr = rewire_candidate(
-          design, result.plan.graph, selection->candidate, *mapping, position,
-          "mbrc_" + std::to_string(name_counter++));
+          design, result.plan.graph, selection->candidate, *p.mapping,
+          position, "mbrc_" + std::to_string(name_counter++));
+      touch_cell_nets(mbr);
       new_cells.push_back(mbr);
       ++result.mbrs_created;
       result.registers_merged +=

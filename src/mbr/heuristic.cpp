@@ -54,7 +54,10 @@ CompositionPlan plan_composition_heuristic(const netlist::Design& design,
                                            const sta::TimingReport& timing,
                                            const CompositionOptions& options) {
   CompositionPlan plan;
-  plan.graph = build_compatibility_graph(design, timing, options.compatibility);
+  // The flow-wide jobs knob also drives the compatibility-graph fan-out.
+  CompatibilityOptions compatibility = options.compatibility;
+  compatibility.jobs = options.jobs;
+  plan.graph = build_compatibility_graph(design, timing, compatibility);
 
   const auto subgraphs = partition_graph(plan.graph, design, options.partition);
   plan.subgraph_count = static_cast<int>(subgraphs.size());

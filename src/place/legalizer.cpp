@@ -89,28 +89,61 @@ std::optional<double> RowGrid::best_x_in_row(int row, double target_x,
 
   double best = std::numeric_limits<double>::quiet_NaN();
   double best_cost = std::numeric_limits<double>::infinity();
-  auto consider = [&](double gap_lo, double gap_hi) {
-    if (gap_hi - gap_lo < width - 1e-9) return;
+  auto consider = [&](double gap_lo, double gap_hi) -> bool {
+    if (gap_hi - gap_lo < width - 1e-9) return false;
     double x = std::clamp(target_x, gap_lo, gap_hi - width);
     x = std::max(gap_lo, snap_x(x));
     if (x + width > gap_hi + 1e-9) x -= options_.site_width;
-    if (x < gap_lo - 1e-9) return;
+    if (x < gap_lo - 1e-9) return false;
     const double cost = std::abs(x - target_x);
-    if (cost < best_cost) {
+    // Equal costs keep the leftmost x (the ascending scan this replaces
+    // kept the first minimum it met).
+    if (cost < best_cost || (cost == best_cost && x < best)) {
       best_cost = cost;
       best = x;
     }
+    return true;
   };
 
-  double cursor = lo;
-  for (const auto& [x, interval] : intervals) {
-    consider(cursor, std::min(x, core_.xhi));
-    cursor = std::max(cursor, x + interval.width);
-    if (cursor > target_x && !std::isnan(best) &&
-        cursor - target_x > best_cost)
-      break;  // gaps further right can only be worse
+  // Outward walk from the gap straddling target_x instead of scanning the
+  // whole row: away from that gap the nearest feasible position per gap
+  // moves strictly away from the target, so on each side the first gap
+  // wide enough for `width` is that side's best and the walk stops there.
+  // With packed rows this is O(1)-ish per probe where the full scan was
+  // O(intervals in the row) — the dominant cost of large-design
+  // legalization and benchmark generation.
+  const auto right_begin = intervals.lower_bound(target_x);
+  const double straddle_lo =
+      right_begin == intervals.begin()
+          ? lo
+          : std::prev(right_begin)->first + std::prev(right_begin)->second.width;
+  const double straddle_hi =
+      right_begin == intervals.end() ? core_.xhi
+                                     : std::min(right_begin->first, core_.xhi);
+  consider(straddle_lo, straddle_hi);
+
+  // Gaps entirely right of the target (cost = gap start - target, rising).
+  for (auto it = right_begin; it != intervals.end();) {
+    const double gap_lo = it->first + it->second.width;
+    ++it;
+    const double gap_hi =
+        it == intervals.end() ? core_.xhi : std::min(it->first, core_.xhi);
+    if (consider(gap_lo, gap_hi)) break;
+    if (gap_lo - target_x > best_cost) break;  // even wider gaps sit further
   }
-  consider(cursor, core_.xhi);
+
+  // Gaps entirely left of the target (cost rising as the walk descends).
+  for (auto it = right_begin; it != intervals.begin();) {
+    --it;
+    const double gap_hi = std::min(it->first, core_.xhi);
+    const double gap_lo =
+        it == intervals.begin()
+            ? lo
+            : std::prev(it)->first + std::prev(it)->second.width;
+    if (consider(gap_lo, gap_hi)) break;
+    if (target_x - gap_hi > best_cost) break;
+  }
+
   if (std::isnan(best)) return std::nullopt;
   return best;
 }

@@ -1,0 +1,144 @@
+// Monotonic bump-pointer arena and a std-compatible allocator over it.
+//
+// The per-subgraph solver hot paths (clique enumeration, candidate DFS)
+// allocate many short-lived scratch vectors per subgraph; at hundreds of
+// thousands of subgraph solves those allocations contend on the global
+// allocator across pool workers and scatter the working set. An Arena hands
+// out memory by bumping a cursor through geometrically-growing blocks,
+// deallocation is a no-op, and reset() rewinds to reuse the blocks for the
+// next subgraph -- so a worker's scratch stays in the same few cache-warm
+// pages for its whole run.
+//
+// Not thread-safe by design: each worker owns its arena (thread_local in
+// the solvers). Allocation order is deterministic for a deterministic
+// caller, and nothing about arena placement leaks into results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mbrc::util {
+
+class Arena {
+public:
+  explicit Arena(std::size_t first_block_bytes = 1 << 16)
+      : next_block_bytes_(first_block_bytes) {
+    MBRC_ASSERT(first_block_bytes > 0);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    MBRC_ASSERT(align > 0 && (align & (align - 1)) == 0);
+    std::uintptr_t p = (cursor_ + align - 1) & ~(std::uintptr_t{align} - 1);
+    if (block_ >= blocks_.size() || p + bytes > limit_) {
+      start_block(bytes + align);
+      p = (cursor_ + align - 1) & ~(std::uintptr_t{align} - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_allocated_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Rewinds to the first block, keeping every block for reuse. Outstanding
+  /// allocations become invalid.
+  void reset() {
+    block_ = 0;
+    bytes_allocated_ = 0;
+    if (blocks_.empty()) {
+      cursor_ = 0;
+      limit_ = 0;
+    } else {
+      enter_block(0);
+    }
+  }
+
+  /// Bytes handed out since construction or the last reset().
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total bytes owned across all blocks (the high-water footprint).
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void enter_block(std::size_t index) {
+    block_ = index;
+    cursor_ = reinterpret_cast<std::uintptr_t>(blocks_[index].data.get());
+    limit_ = cursor_ + blocks_[index].size;
+  }
+
+  void start_block(std::size_t min_bytes) {
+    // Advance through already-owned blocks first (after a reset), then grow.
+    const std::size_t next = blocks_.empty() || block_ >= blocks_.size()
+                                 ? blocks_.size()
+                                 : block_ + 1;
+    for (std::size_t i = next; i < blocks_.size(); ++i) {
+      if (blocks_[i].size >= min_bytes) {
+        enter_block(i);
+        return;
+      }
+    }
+    Block fresh;
+    fresh.size = std::max(next_block_bytes_, min_bytes);
+    fresh.data = std::make_unique<std::byte[]>(fresh.size);
+    next_block_bytes_ = fresh.size * 2;
+    blocks_.push_back(std::move(fresh));
+    enter_block(blocks_.size() - 1);
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   // index of the block the cursor lives in
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t next_block_bytes_;
+  std::size_t bytes_allocated_ = 0;
+};
+
+/// std::allocator-shaped handle onto an Arena, for container scratch:
+///   util::ArenaVector<int> scratch(util::ArenaAllocator<int>(&arena));
+/// deallocate is a no-op; memory returns on Arena::reset().
+template <class T>
+class ArenaAllocator {
+public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {
+    MBRC_ASSERT(arena != nullptr);
+  }
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}  // monotonic: freed by Arena::reset()
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+private:
+  Arena* arena_;
+};
+
+template <class T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace mbrc::util
