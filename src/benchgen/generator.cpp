@@ -615,6 +615,38 @@ std::vector<DesignProfile> standard_profiles() {
   return profiles;
 }
 
+std::vector<DesignProfile> scenario_profiles() {
+  std::vector<DesignProfile> profiles(2);
+
+  // DM: multi-clock stress for the bank/debank loop. Four domains shrink
+  // the compatibility pockets (banks only form within a domain), and the
+  // high failing fraction plus deep critical cones leave composed banks on
+  // the critical path -- exactly the state debanking targets.
+  profiles[0].name = "DM";
+  profiles[0].seed = 606;
+  profiles[0].register_cells = 1200;
+  profiles[0].width_mix = {{1, 0.30}, {2, 0.20}, {4, 0.25}, {8, 0.25}};
+  profiles[0].comb_per_register = 10.0;
+  profiles[0].clock_domains = 4;
+  profiles[0].gating_groups = 8;
+  profiles[0].failing_endpoint_fraction = 0.45;
+  profiles[0].deep_cluster_fraction = 0.40;
+
+  // DP: power-capped scenario. Mostly 1-bit registers (maximal composition
+  // headroom) under many gating groups: the beta/gamma-dominant cost
+  // settings must hold clock power and area while the alpha-dominant ones
+  // chase timing.
+  profiles[1].name = "DP";
+  profiles[1].seed = 707;
+  profiles[1].register_cells = 1400;
+  profiles[1].width_mix = {{1, 0.70}, {2, 0.20}, {4, 0.08}, {8, 0.02}};
+  profiles[1].comb_per_register = 9.0;
+  profiles[1].gating_groups = 12;
+  profiles[1].failing_endpoint_fraction = 0.25;
+
+  return profiles;
+}
+
 std::vector<DesignProfile> scaled_profiles(int factor) {
   MBRC_ASSERT(factor >= 1);
   std::vector<DesignProfile> profiles = standard_profiles();

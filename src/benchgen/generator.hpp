@@ -70,6 +70,14 @@ struct DesignProfile {
 /// at roughly 1/10 scale.
 std::vector<DesignProfile> standard_profiles();
 
+/// Scenario profiles exercising the multi-objective flow beyond Table 1:
+/// "DM" is a multi-clock design (four domains, deep critical cones) that
+/// stresses the bank/debank loop, "DP" a power-capped one (1-bit rich,
+/// many gating groups) where the beta/gamma cost knobs must hold clock
+/// power and area. Both are smaller than the D profiles so convergence
+/// benches can afford several cost settings per run.
+std::vector<DesignProfile> scenario_profiles();
+
 /// The standard profiles with `factor`-times the register count (and the
 /// proportional combinational budget) for scaling studies; structure per
 /// register -- cluster size, width mix, logic depth, control diversity --

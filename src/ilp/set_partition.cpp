@@ -69,6 +69,15 @@ struct Search {
         bits[e >> 6] |= std::uint64_t{1} << (e & 63);
       }
       if (cand.elements.empty()) continue;
+      // The additive bound below charges every uncovered element
+      // min(w / |cover|), which under-estimates the true cost only when
+      // weights are non-negative. The MBR weights satisfy this by
+      // construction: the paper's 1/b and b*2^n are positive, infinite
+      // weights are dropped at enumeration, and the multi-objective
+      // extension (mbr/cost.hpp) only adds non-negative power/area terms.
+      MBRC_ASSERT_MSG(cand.weight >= 0.0 &&
+                          cand.weight < std::numeric_limits<double>::infinity(),
+                      "set-partition weights must be finite and non-negative");
       const double ratio =
           cand.weight / static_cast<double>(cand.elements.size());
       for (int e : cand.elements) {

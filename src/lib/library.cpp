@@ -113,6 +113,14 @@ bool Library::has_multibit(const RegisterFunction& function) const {
   return false;
 }
 
+const RegisterCell* Library::cheapest_cell(const RegisterFunction& function,
+                                           int bits) const {
+  const RegisterCell* best = nullptr;
+  for (const RegisterCell* cell : cells_for(function, bits))
+    if (best == nullptr || cell->area < best->area) best = cell;
+  return best;
+}
+
 namespace {
 
 std::string function_suffix(const RegisterFunction& f) {

@@ -60,6 +60,14 @@ public:
   /// something for registers of this class.
   bool has_multibit(const RegisterFunction& function) const;
 
+  /// The minimum-area cell of `function` at exactly `bits` bits (ties by
+  /// insertion order), or nullptr when the class has no such width. This is
+  /// the enumeration-time stand-in for the cell the mapper will pick: the
+  /// incomplete-MBR area rule and the multi-objective cost model both price
+  /// a candidate with it before mapping runs.
+  const RegisterCell* cheapest_cell(const RegisterFunction& function,
+                                    int bits) const;
+
 private:
   std::vector<RegisterCell> registers_;
   std::vector<CombCell> combs_;

@@ -95,22 +95,6 @@ bool candidate_needs_per_bit_scan(const CompatibilityGraph& graph,
 
 namespace {
 
-// Cheapest (min-area) library cell of the class at `width`, used for the
-// enumeration-time incomplete-MBR area rule. The mapper may later pick a
-// stronger variant; the flow re-checks the 5% rule against the mapped cell.
-const lib::RegisterCell* cheapest_cell(const lib::Library& library,
-                                       const lib::RegisterFunction& function,
-                                       int width) {
-  const auto cells = library.cells_for(function, width);
-  if (cells.empty()) return nullptr;
-  return *std::min_element(cells.begin(), cells.end(),
-                           [](const lib::RegisterCell* a,
-                              const lib::RegisterCell* b) {
-                             // mbrc-lint: allow(R2, min_element is order-stable -- first minimum over cells_for's deterministic library order)
-                             return a->area < b->area;
-                           });
-}
-
 // Per-worker scratch arena for the enumeration DFS: one reset per subgraph,
 // so the adjacency masks, the SoA node arrays and the DFS stack reuse the
 // same cache-warm pages instead of hitting the global allocator from every
@@ -141,6 +125,38 @@ struct Enumerator {
   util::ArenaVector<geom::Rect> node_region{
       util::ArenaAllocator<geom::Rect>(&arena)};
 
+  // The physical outcome the cost model prices: a keep-as-is singleton
+  // keeps its own cell, a merge creates (at least) the cheapest cell of
+  // the mapped width (the mapper's stand-in, matching the incomplete-MBR
+  // area rule's convention). Null for hand-built graphs whose nodes carry
+  // no library cell -- pricing then skips the beta/gamma terms.
+  const lib::RegisterCell* priced_cell(const std::vector<int>& members,
+                                       int mapped_width) const {
+    if (members.size() == 1) return graph.node(members.front()).lib_cell;
+    return library.cheapest_cell(function, mapped_width);
+  }
+
+  // Keep-as-is candidate for one node, priced exactly like the singletons
+  // the main enumeration path emits: the paper weight with zero blockers
+  // (a singleton's hull is its own footprint) and the node's own cell under
+  // the cost model. The truncation guard below uses this so cap-recovered
+  // singletons are never cheaper than their enumerated twins would have
+  // been -- an unpriced singleton would bias the ILP toward leaving the
+  // whole subgraph unmerged whenever the cap was hit.
+  Candidate singleton_candidate(int graph_node) const {
+    const RegisterInfo& info = graph.node(graph_node);
+    Candidate singleton;
+    singleton.nodes = {graph_node};
+    singleton.bits = info.bits;
+    singleton.mapped_width = info.bits;
+    singleton.weight =
+        options.use_weights ? candidate_weight(info.bits, 0) : 1.0;
+    singleton.weight =
+        options.cost.candidate_cost(singleton.weight, info.lib_cell);
+    singleton.common_region = info.region;
+    return singleton;
+  }
+
   void emit(int bits, const geom::Rect& region) {
     if (result.candidates.size() >= options.max_candidates_per_subgraph) {
       result.truncated = true;
@@ -160,7 +176,7 @@ struct Enumerator {
       if (up == widths.end()) return;  // no wider cell
       mapped_width = *up;
       const lib::RegisterCell* cell =
-          cheapest_cell(library, function, mapped_width);
+          library.cheapest_cell(function, mapped_width);
       if (cell == nullptr) return;
       // Sec. 3: the incomplete MBR's area per (physical) bit must be below
       // the average area per bit of the registers it replaces.
@@ -184,8 +200,16 @@ struct Enumerator {
     if (options.use_weights) {
       n_blockers = blockers.count_blockers(graph, members);
       weight = candidate_weight(bits, n_blockers);
-      if (!std::isfinite(weight)) return;  // n >= b: dropped (w = infinity)
+      if (!std::isfinite(weight)) {
+        // n >= b: dropped (w = infinity). Tallied locally and flushed to
+        // the flow.candidates.dropped_infinite_weight counter once per
+        // subgraph, so the coverage loss is visible in flow_report.json.
+        ++result.dropped_infinite_weight;
+        return;
+      }
     }
+    weight = options.cost.candidate_cost(weight,
+                                         priced_cell(members, mapped_width));
 
     Candidate candidate;
     candidate.nodes = std::move(members);
@@ -297,15 +321,7 @@ struct Enumerator {
             if (nodes[v] == c.nodes.front()) has_singleton[v] = true;
       for (int v = 0; v < n; ++v) {
         if (has_singleton[v]) continue;
-        const RegisterInfo& info = graph.node(nodes[v]);
-        Candidate singleton;
-        singleton.nodes = {nodes[v]};
-        singleton.bits = info.bits;
-        singleton.mapped_width = info.bits;
-        singleton.weight =
-            options.use_weights ? candidate_weight(info.bits, 0) : 1.0;
-        singleton.common_region = info.region;
-        result.candidates.push_back(std::move(singleton));
+        result.candidates.push_back(singleton_candidate(nodes[v]));
       }
     }
   }
@@ -325,10 +341,13 @@ EnumerationResult enumerate_candidates(const CompatibilityGraph& graph,
 
   static obs::Counter& c_calls = obs::counter("mbr.candidates.calls");
   static obs::Counter& c_found = obs::counter("mbr.candidates.enumerated");
+  static obs::Counter& c_dropped =
+      obs::counter("flow.candidates.dropped_infinite_weight");
   static obs::Histogram& h_per =
       obs::histogram("mbr.candidates.per_subgraph");
   c_calls.add(1);
   c_found.add(static_cast<std::int64_t>(enumerator.result.candidates.size()));
+  c_dropped.add(enumerator.result.dropped_infinite_weight);
   h_per.record(static_cast<std::int64_t>(enumerator.result.candidates.size()));
   return std::move(enumerator.result);
 }

@@ -27,6 +27,7 @@
 
 #include "mbr/cliques.hpp"
 #include "mbr/compatibility.hpp"
+#include "mbr/cost.hpp"
 
 namespace mbrc::mbr {
 
@@ -43,6 +44,10 @@ struct EnumerationOptions {
   /// Hard cap on candidates per subgraph (deterministic truncation guard;
   /// effectively never reached with the 30-node bound).
   std::size_t max_candidates_per_subgraph = 200'000;
+  /// Multi-objective pricing applied on top of the paper weight (and on top
+  /// of the flat weight 1 when use_weights is off). The defaults reproduce
+  /// the paper's weights exactly; see mbr/cost.hpp.
+  CostModel cost;
 };
 
 struct Candidate {
@@ -61,6 +66,10 @@ struct Candidate {
 struct EnumerationResult {
   std::vector<Candidate> candidates;
   bool truncated = false;
+  /// Cliques discarded because their weight was infinite (blockers >= bits,
+  /// Sec. 3.2). Flushed to the flow.candidates.dropped_infinite_weight
+  /// counter so the coverage loss is visible in flow_report.json.
+  std::int64_t dropped_infinite_weight = 0;
 };
 
 /// Sec. 3.2 weight formula. `blockers >= bits` yields +infinity.

@@ -1,0 +1,77 @@
+// Multi-objective candidate cost (ROADMAP item 4, production extension).
+//
+// The paper's Sec. 3.2 weight is purely placement/timing driven: 1/b for a
+// clean candidate, b * 2^n when blocked. Production MBR flows optimize a
+// combined objective instead,
+//
+//     cost = alpha * Timing + beta * Power + gamma * Area,
+//
+// (the multi-objective shape of arXiv:2303.09305). This module adds that
+// parameterization on two levels sharing one knob set:
+//
+//   - per candidate: candidate_cost() scales the paper weight by alpha and
+//     adds the priced library cell the selection would keep or create
+//     (beta * power proxy + gamma * area). The set-partitioning ILP then
+//     minimizes the combined cost with no solver change -- the weights ARE
+//     the objective. The defaults (alpha=1, beta=gamma=0) reduce exactly to
+//     the paper's weight, bit for bit.
+//
+//   - per design state: combined_cost() folds a measured (TNS, power, area)
+//     triple into one scalar; the bank/debank loop in flow.cpp accepts an
+//     iteration only when this scalar improves, which is what makes the
+//     loop's cost trajectory monotone by construction.
+//
+// Determinism: the model is a pure function of its inputs (no iteration
+// over unordered containers, no time, no randomness), so everything built
+// on it stays bit-identical at any `jobs` value.
+#pragma once
+
+#include "lib/cells.hpp"
+
+namespace mbrc::mbr {
+
+struct CostModel {
+  /// Timing emphasis: scales the paper's placement-aware weight per
+  /// candidate and the (-TNS) term of the loop-level combined cost.
+  double alpha = 1.0;
+  /// Power emphasis: prices a candidate's cell by its power proxy
+  /// (clock-pin cap + leakage, lib::RegisterCell::power_proxy) and the
+  /// loop-level cost by the design's clock power + leakage (uW).
+  double beta = 0.0;
+  /// Area emphasis: prices a candidate's cell by its area (um^2) and the
+  /// loop-level cost by the design area.
+  double gamma = 0.0;
+
+  /// True when the power/area terms participate at all; false means the
+  /// model is the paper's pure timing weight (times alpha).
+  bool multi_objective() const { return beta != 0.0 || gamma != 0.0; }
+
+  /// beta/gamma price of keeping or creating one physical cell.
+  double cell_cost(const lib::RegisterCell& cell) const {
+    return beta * cell.power_proxy() + gamma * cell.area;
+  }
+
+  /// Combined per-candidate cost: alpha * paper weight plus the priced
+  /// cell. `cell` is the candidate's physical outcome -- the register's own
+  /// cell for a keep-as-is singleton, the cheapest cell of the mapped width
+  /// for a merge (the mapper's stand-in, same convention as the
+  /// incomplete-MBR area rule); nullptr (hand-built graphs without library
+  /// backing) skips the beta/gamma terms. `paper_weight` must be finite:
+  /// infinite-weight candidates are dropped before pricing.
+  double candidate_cost(double paper_weight,
+                        const lib::RegisterCell* cell) const {
+    double cost = alpha * paper_weight;
+    if (cell != nullptr) cost += cell_cost(*cell);
+    return cost;
+  }
+
+  /// Loop-level combined cost of a measured design state. All three terms
+  /// are non-negative (TNS <= 0 by definition), so the scalar is
+  /// minimized and bounded below by zero.
+  double combined_cost(double tns, double power_uw, double area) const {
+    const double timing = tns < 0.0 ? -tns : 0.0;
+    return alpha * timing + beta * power_uw + gamma * area;
+  }
+};
+
+}  // namespace mbrc::mbr

@@ -14,21 +14,6 @@ using netlist::NetId;
 using netlist::PinId;
 using netlist::PinRole;
 
-// The weakest (max resistance) cell of the class at `bits` -- decomposition
-// must not waste power; the recomposition's mapper re-selects drive anyway.
-const lib::RegisterCell* piece_cell(const lib::Library& library,
-                                    const lib::RegisterFunction& function,
-                                    int bits) {
-  const auto cells = library.cells_for(function, bits);
-  const lib::RegisterCell* best = nullptr;
-  for (const lib::RegisterCell* cell : cells) {
-    if (cell->scan_style == lib::ScanStyle::kPerBitPins) continue;
-    if (best == nullptr || cell->drive_resistance > best->drive_resistance)
-      best = cell;
-  }
-  return best;
-}
-
 bool eligible(const Design& design, CellId cell_id,
               const DecomposeOptions& options,
               const sta::TimingReport* timing) {
@@ -41,26 +26,117 @@ bool eligible(const Design& design, CellId cell_id,
   // those intact (splitting would need section renumbering).
   if (cell.scan.section >= 0) return false;
   if (timing != nullptr) {
-    // Gate on the useful-skew-balanced slack (one clock offset can shift
-    // slack between the D and Q sides): pieces of a register below the gate
-    // could never move, so they would never regroup.
+    // Gate on the worst *constrained* bit of the bank: register_d_slack /
+    // register_q_slack each minimize over the bank's constrained pins of
+    // that side, so min(d, q) is the tightest slack any bit actually has
+    // (kNoRequired is +infinity, so an unconstrained side drops out of the
+    // min on its own). The earlier useful-skew-balanced average (d+q)/2
+    // assumed a clock offset the flow only ever grants to *new* MBRs: a
+    // bank whose D side was critical but Q side comfortable averaged above
+    // the gate and was split even though its pieces' feasible regions were
+    // pinned by the real (unskewed) slack -- they could never move, so the
+    // split only paid the lost area/cap sharing.
     const double d = timing->register_d_slack(design, cell_id);
     const double q = timing->register_q_slack(design, cell_id);
-    double budget = sta::kNoRequired;
-    if (d != sta::kNoRequired && q != sta::kNoRequired)
-      budget = (d + q) / 2;
-    else if (d != sta::kNoRequired)
-      budget = d;
-    else if (q != sta::kNoRequired)
-      budget = q;
+    const double budget = std::min(d, q);
     if (budget != sta::kNoRequired && budget < options.min_slack)
       return false;
   }
-  return piece_cell(design.library(), cell.reg->function,
-                    options.piece_bits) != nullptr;
+  return decompose_piece_cell(design.library(), cell.reg->function,
+                              options.piece_bits) != nullptr;
 }
 
 }  // namespace
+
+const lib::RegisterCell* decompose_piece_cell(
+    const lib::Library& library, const lib::RegisterFunction& function,
+    int bits) {
+  const auto cells = library.cells_for(function, bits);
+  const lib::RegisterCell* best = nullptr;
+  for (const lib::RegisterCell* cell : cells) {
+    if (cell->scan_style == lib::ScanStyle::kPerBitPins) continue;
+    if (best == nullptr || cell->drive_resistance > best->drive_resistance)
+      best = cell;
+  }
+  return best;
+}
+
+void split_register(netlist::Design& design, CellId cell_id, int piece_bits,
+                    DecomposeResult& result) {
+  const netlist::Cell& cell = design.cell(cell_id);
+  const lib::RegisterCell* piece = decompose_piece_cell(
+      design.library(), cell.reg->function, piece_bits);
+  MBRC_ASSERT_MSG(piece != nullptr && cell.reg->bits % piece_bits == 0,
+                  "split_register: caller must check eligibility");
+  const int pieces = cell.reg->bits / piece_bits;
+
+  // Record connectivity before removing the original.
+  struct BitNets {
+    NetId d, q;
+  };
+  std::vector<BitNets> bits(cell.reg->bits);
+  for (int b = 0; b < cell.reg->bits; ++b) {
+    const PinId d = design.register_d_pin(cell_id, b);
+    const PinId q = design.register_q_pin(cell_id, b);
+    bits[b] = {design.pin(d).net, design.pin(q).net};
+  }
+  const NetId clock = design.register_clock_net(cell_id);
+  const auto control = [&](PinRole role) {
+    const PinId pin = design.register_control_pin(cell_id, role);
+    return pin.valid() ? design.pin(pin).net : NetId{};
+  };
+  const NetId reset = control(PinRole::kReset);
+  const NetId set = control(PinRole::kSet);
+  const NetId enable = control(PinRole::kEnable);
+  const NetId scan_enable = control(PinRole::kScanEnable);
+  const geom::Point origin = cell.position;
+  const std::string base_name = cell.name;
+  const netlist::ScanInfo scan = cell.scan;
+  const int gating = cell.gating_group;
+  const double original_width = cell.reg->width;
+
+  design.remove_cell(cell_id);
+
+  std::vector<CellId> group;
+  for (int p = 0; p < pieces; ++p) {
+    // Pieces are distributed over the original footprint (their summed
+    // width slightly exceeds it -- sharing lost); the follow-up
+    // legalization resolves the small overlaps with minimal displacement.
+    const double pitch = std::max(piece->width, original_width / pieces);
+    const geom::Point position{origin.x + p * pitch, origin.y};
+    const CellId new_cell = design.add_register(
+        base_name + "_p" + std::to_string(p), piece, position);
+    netlist::Cell& created = design.cell(new_cell);
+    created.scan = scan;
+    created.gating_group = gating;
+
+    if (clock.valid())
+      design.connect(design.register_clock_pin(new_cell), clock);
+    const auto connect_control = [&](PinRole role, NetId net) {
+      if (!net.valid()) return;
+      const PinId pin = design.register_control_pin(new_cell, role);
+      MBRC_ASSERT(pin.valid());
+      design.connect(pin, net);
+    };
+    connect_control(PinRole::kReset, reset);
+    connect_control(PinRole::kSet, set);
+    connect_control(PinRole::kEnable, enable);
+    connect_control(PinRole::kScanEnable, scan_enable);
+
+    for (int b = 0; b < piece_bits; ++b) {
+      const BitNets& nets = bits[p * piece_bits + b];
+      if (nets.d.valid())
+        design.connect(design.register_d_pin(new_cell, b), nets.d);
+      if (nets.q.valid())
+        design.connect(design.register_q_pin(new_cell, b), nets.q);
+    }
+    result.pieces.push_back(new_cell);
+    group.push_back(new_cell);
+    ++result.pieces_created;
+  }
+  result.sibling_groups.push_back(std::move(group));
+  ++result.registers_split;
+}
 
 DecomposeResult decompose_registers(netlist::Design& design,
                                     const DecomposeOptions& options,
@@ -68,80 +144,9 @@ DecomposeResult decompose_registers(netlist::Design& design,
   MBRC_ASSERT(options.piece_bits >= 1 &&
               options.piece_bits < options.min_bits);
   DecomposeResult result;
-
   for (CellId cell_id : design.registers()) {
     if (!eligible(design, cell_id, options, timing)) continue;
-    const netlist::Cell& cell = design.cell(cell_id);
-    const lib::RegisterCell* piece =
-        piece_cell(design.library(), cell.reg->function, options.piece_bits);
-    const int pieces = cell.reg->bits / options.piece_bits;
-
-    // Record connectivity before removing the original.
-    struct BitNets {
-      NetId d, q;
-    };
-    std::vector<BitNets> bits(cell.reg->bits);
-    for (int b = 0; b < cell.reg->bits; ++b) {
-      const PinId d = design.register_d_pin(cell_id, b);
-      const PinId q = design.register_q_pin(cell_id, b);
-      bits[b] = {design.pin(d).net, design.pin(q).net};
-    }
-    const NetId clock = design.register_clock_net(cell_id);
-    const auto control = [&](PinRole role) {
-      const PinId pin = design.register_control_pin(cell_id, role);
-      return pin.valid() ? design.pin(pin).net : NetId{};
-    };
-    const NetId reset = control(PinRole::kReset);
-    const NetId set = control(PinRole::kSet);
-    const NetId enable = control(PinRole::kEnable);
-    const NetId scan_enable = control(PinRole::kScanEnable);
-    const geom::Point origin = cell.position;
-    const std::string base_name = cell.name;
-    const netlist::ScanInfo scan = cell.scan;
-    const int gating = cell.gating_group;
-
-    design.remove_cell(cell_id);
-
-    std::vector<CellId> group;
-    for (int p = 0; p < pieces; ++p) {
-      // Pieces are distributed over the original footprint (their summed
-      // width slightly exceeds it -- sharing lost); the follow-up
-      // legalization resolves the small overlaps with minimal displacement.
-      const double pitch =
-          std::max(piece->width, cell.reg->width / pieces);
-      const geom::Point position{origin.x + p * pitch, origin.y};
-      const CellId new_cell = design.add_register(
-          base_name + "_p" + std::to_string(p), piece, position);
-      netlist::Cell& created = design.cell(new_cell);
-      created.scan = scan;
-      created.gating_group = gating;
-
-      if (clock.valid())
-        design.connect(design.register_clock_pin(new_cell), clock);
-      const auto connect_control = [&](PinRole role, NetId net) {
-        if (!net.valid()) return;
-        const PinId pin = design.register_control_pin(new_cell, role);
-        MBRC_ASSERT(pin.valid());
-        design.connect(pin, net);
-      };
-      connect_control(PinRole::kReset, reset);
-      connect_control(PinRole::kSet, set);
-      connect_control(PinRole::kEnable, enable);
-      connect_control(PinRole::kScanEnable, scan_enable);
-
-      for (int b = 0; b < options.piece_bits; ++b) {
-        const BitNets& nets = bits[p * options.piece_bits + b];
-        if (nets.d.valid())
-          design.connect(design.register_d_pin(new_cell, b), nets.d);
-        if (nets.q.valid())
-          design.connect(design.register_q_pin(new_cell, b), nets.q);
-      }
-      result.pieces.push_back(new_cell);
-      group.push_back(new_cell);
-      ++result.pieces_created;
-    }
-    result.sibling_groups.push_back(std::move(group));
-    ++result.registers_split;
+    split_register(design, cell_id, options.piece_bits, result);
   }
   return result;
 }
@@ -162,8 +167,8 @@ RecombineResult recombine_unused_pieces(
     if (!all_alive || group.empty()) continue;
 
     const netlist::Cell& first = design.cell(group.front());
-    const lib::RegisterCell* wide =
-        piece_cell(design.library(), first.reg->function, total_bits);
+    const lib::RegisterCell* wide = decompose_piece_cell(
+        design.library(), first.reg->function, total_bits);
     if (wide == nullptr) continue;
 
     // Gather connectivity in piece order, then rebuild the original.

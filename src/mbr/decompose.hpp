@@ -29,11 +29,12 @@ struct DecomposeOptions {
   int min_bits = 8;
   /// Width of the pieces (must exist in the library for the class).
   int piece_bits = 4;
-  /// Only split registers whose useful-skew-balanced slack,
-  /// (d_slack + q_slack) / 2, is at least this (ns): critical registers
-  /// gain nothing from being split -- their pieces cannot move, so they
-  /// could never regroup with neighbors and the split would only pay the
-  /// lost area/cap sharing.
+  /// Only split registers whose worst *constrained* bit -- the minimum of
+  /// the bank's D-side and Q-side slacks, each already a minimum over the
+  /// bank's constrained pins -- has at least this much slack (ns): critical
+  /// registers gain nothing from being split. Their pieces cannot move, so
+  /// they could never regroup with neighbors and the split would only pay
+  /// the lost area/cap sharing.
   double min_slack = 0.02;
 };
 
@@ -53,6 +54,25 @@ struct DecomposeResult {
 DecomposeResult decompose_registers(netlist::Design& design,
                                     const DecomposeOptions& options = {},
                                     const sta::TimingReport* timing = nullptr);
+
+/// The weakest (max drive resistance) non-per-bit-scan cell of the class at
+/// `bits`, or nullptr: the piece cell both split passes create (splitting
+/// must not waste power; a follow-up mapper or sizing pass re-selects
+/// drive). Exposed so the debank pass shares the decompose machinery.
+const lib::RegisterCell* decompose_piece_cell(
+    const lib::Library& library, const lib::RegisterFunction& function,
+    int bits);
+
+/// Splits one register into `piece_bits`-wide pieces of the class's weakest
+/// drive variant, preserving per-bit D/Q connectivity, the shared
+/// clock/control nets, scan info and the gating group; the original cell is
+/// removed and the pieces plus their sibling group are appended to
+/// `result`. The caller must have verified eligibility: the library offers
+/// the piece width, `bits % piece_bits == 0`, and the register is not
+/// pinned by an ordered scan section. Pieces overlap the original footprint
+/// and must be legalized, and touched scan chains re-stitched, afterwards.
+void split_register(netlist::Design& design, netlist::CellId cell_id,
+                    int piece_bits, DecomposeResult& result);
 
 struct RecombineResult {
   int groups_restored = 0;

@@ -161,6 +161,131 @@ void size_new_mbrs(netlist::Design& design,
 
 namespace {
 
+// Outcome of applying one composition plan's merges (map -> place ->
+// rewire); the flow runs this once for the main plan and once per
+// bank/debank loop iteration for the scoped recomposition plans.
+struct ApplyOutcome {
+  std::vector<netlist::CellId> new_cells;
+  int mbrs_created = 0;
+  int registers_merged = 0;      // members absorbed into new MBRs
+  int rejected_at_mapping = 0;   // selections dropped by Sec. 4.1 rules
+  int incomplete_mbrs = 0;
+};
+
+// Applies the plan's merges: mapping and the per-MBR LP placement solves
+// fan out over the pool as a *speculative* pass against the pre-apply
+// design, each task writing its own pre-sized slot. map_candidate reads
+// only the library and the plan graph, so its result never depends on
+// apply order. place_mbr reads exactly the members' D/Q nets; each task
+// records that read set, and the serial rewire loop below replays the
+// solve in place for the few selections whose read set intersects a net an
+// earlier rewire touched. Untouched selections keep the speculative bytes,
+// touched ones are recomputed at the same point the serial loop would have
+// -- the stage output is bit-identical to the serial flow at any `jobs`.
+// New MBRs are named `name_prefix` + a per-call counter; callers must keep
+// prefixes distinct across calls.
+ApplyOutcome apply_plan_merges(netlist::Design& design,
+                               const CompositionPlan& plan,
+                               const FlowOptions& options,
+                               const std::string& name_prefix) {
+  ApplyOutcome result;
+  const std::vector<const Selection*> merges = plan.merges();
+
+  struct Prepared {
+    std::optional<Mapping> mapping;
+    geom::Point position;
+    std::vector<std::int32_t> read_nets;  // member D/Q nets, sorted unique
+  };
+  const std::vector<Prepared> prepared = runtime::parallel_transform(
+      &runtime::ThreadPool::global(), options.jobs, merges,
+      [&](const Selection* selection) {
+        obs::Span span("apply.map_place");
+        Prepared p;
+        p.mapping = map_candidate(design, plan.graph, selection->candidate,
+                                  options.mapping);
+        if (!p.mapping) return p;
+        p.position = place_mbr(design, plan.graph, selection->candidate,
+                               *p.mapping, options.placement);
+        for (int node : selection->candidate.nodes) {
+          const RegisterInfo& info = plan.graph.node(node);
+          for (int bit = 0; bit < info.bits; ++bit) {
+            for (const netlist::PinId pin :
+                 {design.register_d_pin(info.cell, bit),
+                  design.register_q_pin(info.cell, bit)}) {
+              if (!pin.valid()) continue;
+              const netlist::NetId net = design.pin(pin).net;
+              if (net.valid()) p.read_nets.push_back(net.index);
+            }
+          }
+        }
+        std::sort(p.read_nets.begin(), p.read_nets.end());
+        p.read_nets.erase(
+            std::unique(p.read_nets.begin(), p.read_nets.end()),
+            p.read_nets.end());
+        return p;
+      });
+
+  static obs::Counter& replays = obs::counter("flow.apply.replayed");
+  std::unordered_set<std::int32_t> touched_nets;
+  const auto touch_cell_nets = [&](netlist::CellId id) {
+    for (const netlist::PinId pin : design.cell(id).pins) {
+      const netlist::NetId net = design.pin(pin).net;
+      if (net.valid()) touched_nets.insert(net.index);
+    }
+  };
+
+  int name_counter = 0;
+  for (std::size_t m = 0; m < merges.size(); ++m) {
+    const Selection* selection = merges[m];
+    const Prepared& p = prepared[m];
+    if (!p.mapping) {
+      ++result.rejected_at_mapping;
+      continue;
+    }
+    geom::Point position = p.position;
+    const bool stale = std::any_of(
+        p.read_nets.begin(), p.read_nets.end(),
+        [&](std::int32_t net) { return touched_nets.count(net) > 0; });
+    if (stale) {
+      // An earlier rewire edited a net this solve read; redo it here,
+      // where the design state matches the serial loop's.
+      replays.add(1);
+      position = place_mbr(design, plan.graph, selection->candidate,
+                           *p.mapping, options.placement);
+    }
+    // The write set: every net incident to a member (the rewire moves or
+    // drops those pins), plus the new MBR's nets afterwards.
+    for (int node : selection->candidate.nodes)
+      touch_cell_nets(plan.graph.node(node).cell);
+    const netlist::CellId mbr = rewire_candidate(
+        design, plan.graph, selection->candidate, *p.mapping, position,
+        name_prefix + std::to_string(name_counter++));
+    touch_cell_nets(mbr);
+    result.new_cells.push_back(mbr);
+    ++result.mbrs_created;
+    result.registers_merged +=
+        static_cast<int>(selection->candidate.nodes.size());
+    if (selection->candidate.is_incomplete()) ++result.incomplete_mbrs;
+  }
+  return result;
+}
+
+// Incremental legalization of newly created cells (widest first: they are
+// the hardest to fit and have placement priority).
+place::LegalizeResult legalize_new_cells(
+    netlist::Design& design, const std::vector<netlist::CellId>& cells) {
+  std::vector<netlist::CellId> order = cells;
+  std::sort(order.begin(), order.end(),
+            [&](netlist::CellId a, netlist::CellId b) {
+              const double wa = design.cell(a).width();
+              const double wb = design.cell(b).width();
+              if (wa != wb) return wa > wb;
+              return a < b;
+            });
+  place::RowGrid grid = place::build_occupancy(design, order);
+  return place::legalize_cells(design, grid, order);
+}
+
 // The flow stages proper; run_composition_flow wraps this with the
 // observability envelope (tracer install, counter delta, report files).
 FlowResult run_flow_stages(netlist::Design& design,
@@ -176,6 +301,9 @@ FlowResult run_flow_stages(netlist::Design& design,
   timing_options.jobs = options.jobs;
   CompositionOptions composition_options = options.composition;
   composition_options.jobs = options.jobs;
+  // The flow-level cost model reaches the candidate weights (and the
+  // heuristic's merge gate) through the enumeration options.
+  composition_options.enumeration.cost = options.cost;
 
   // One timing engine spans the whole flow: the timing graph is built once
   // per netlist topology and every later query is an incremental repair.
@@ -251,99 +379,18 @@ FlowResult run_flow_stages(netlist::Design& design,
   }
   guard("plan", no_skew);
 
-  // Apply the merges: map -> place -> rewire.
+  // Apply the merges: map -> place -> rewire (speculative parallel
+  // map/place, serial rewire with replay -- see apply_plan_merges).
   std::vector<netlist::CellId> new_cells;
   {
     runtime::StageTimer timer(stage_metrics, "apply");
-    const std::vector<const Selection*> merges = result.plan.merges();
-
-    // Mapping and the per-MBR LP placement solves fan out over the pool as
-    // a *speculative* pass against the pre-apply design, each task writing
-    // its own pre-sized slot. map_candidate reads only the library and the
-    // plan graph, so its result never depends on apply order. place_mbr
-    // reads exactly the members' D/Q nets; each task records that read set,
-    // and the serial rewire loop below replays the solve in place for the
-    // few selections whose read set intersects a net an earlier rewire
-    // touched. Untouched selections keep the speculative bytes, touched
-    // ones are recomputed at the same point the serial loop would have —
-    // the stage output is bit-identical to the serial flow at any `jobs`.
-    struct Prepared {
-      std::optional<Mapping> mapping;
-      geom::Point position;
-      std::vector<std::int32_t> read_nets;  // member D/Q nets, sorted unique
-    };
-    const std::vector<Prepared> prepared = runtime::parallel_transform(
-        &runtime::ThreadPool::global(), options.jobs, merges,
-        [&](const Selection* selection) {
-          obs::Span span("apply.map_place");
-          Prepared p;
-          p.mapping = map_candidate(design, result.plan.graph,
-                                    selection->candidate, options.mapping);
-          if (!p.mapping) return p;
-          p.position =
-              place_mbr(design, result.plan.graph, selection->candidate,
-                        *p.mapping, options.placement);
-          for (int node : selection->candidate.nodes) {
-            const RegisterInfo& info = result.plan.graph.node(node);
-            for (int bit = 0; bit < info.bits; ++bit) {
-              for (const netlist::PinId pin :
-                   {design.register_d_pin(info.cell, bit),
-                    design.register_q_pin(info.cell, bit)}) {
-                if (!pin.valid()) continue;
-                const netlist::NetId net = design.pin(pin).net;
-                if (net.valid()) p.read_nets.push_back(net.index);
-              }
-            }
-          }
-          std::sort(p.read_nets.begin(), p.read_nets.end());
-          p.read_nets.erase(
-              std::unique(p.read_nets.begin(), p.read_nets.end()),
-              p.read_nets.end());
-          return p;
-        });
-
-    static obs::Counter& replays = obs::counter("flow.apply.replayed");
-    std::unordered_set<std::int32_t> touched_nets;
-    const auto touch_cell_nets = [&](netlist::CellId id) {
-      for (const netlist::PinId pin : design.cell(id).pins) {
-        const netlist::NetId net = design.pin(pin).net;
-        if (net.valid()) touched_nets.insert(net.index);
-      }
-    };
-
-    int name_counter = 0;
-    for (std::size_t m = 0; m < merges.size(); ++m) {
-      const Selection* selection = merges[m];
-      const Prepared& p = prepared[m];
-      if (!p.mapping) {
-        ++result.rejected_at_mapping;
-        continue;
-      }
-      geom::Point position = p.position;
-      const bool stale = std::any_of(
-          p.read_nets.begin(), p.read_nets.end(),
-          [&](std::int32_t net) { return touched_nets.count(net) > 0; });
-      if (stale) {
-        // An earlier rewire edited a net this solve read; redo it here,
-        // where the design state matches the serial loop's.
-        replays.add(1);
-        position = place_mbr(design, result.plan.graph, selection->candidate,
-                             *p.mapping, options.placement);
-      }
-      // The write set: every net incident to a member (the rewire moves or
-      // drops those pins), plus the new MBR's nets afterwards.
-      for (int node : selection->candidate.nodes)
-        touch_cell_nets(result.plan.graph.node(node).cell);
-      const netlist::CellId mbr = rewire_candidate(
-          design, result.plan.graph, selection->candidate, *p.mapping,
-          position, "mbrc_" + std::to_string(name_counter++));
-      touch_cell_nets(mbr);
-      new_cells.push_back(mbr);
-      ++result.mbrs_created;
-      result.registers_merged +=
-          static_cast<int>(selection->candidate.nodes.size());
-      if (selection->candidate.is_incomplete()) ++result.incomplete_mbrs;
-    }
+    ApplyOutcome applied =
+        apply_plan_merges(design, result.plan, options, "mbrc_");
+    new_cells = std::move(applied.new_cells);
+    result.mbrs_created = applied.mbrs_created;
+    result.registers_merged = applied.registers_merged;
+    result.rejected_at_mapping = applied.rejected_at_mapping;
+    result.incomplete_mbrs = applied.incomplete_mbrs;
     timer.add_items(result.mbrs_created);
   }
   if (result.mbrs_created > 0) {
@@ -364,21 +411,11 @@ FlowResult run_flow_stages(netlist::Design& design,
       new_cells.push_back(cell);
   }
 
-  // Incremental legalization of the new MBRs (widest first: they are the
-  // hardest to fit and have placement priority).
+  // Incremental legalization of the new MBRs.
   if (!new_cells.empty()) {
     runtime::StageTimer timer(stage_metrics, "legalize");
     timer.add_items(static_cast<std::int64_t>(new_cells.size()));
-    std::vector<netlist::CellId> order = new_cells;
-    std::sort(order.begin(), order.end(),
-              [&](netlist::CellId a, netlist::CellId b) {
-                const double wa = design.cell(a).width();
-                const double wb = design.cell(b).width();
-                if (wa != wb) return wa > wb;
-                return a < b;
-              });
-    place::RowGrid grid = place::build_occupancy(design, order);
-    result.legalization = place::legalize_cells(design, grid, order);
+    result.legalization = legalize_new_cells(design, new_cells);
     MBRC_ASSERT_MSG(result.legalization.success,
                     "MBR legalization failed: core too full");
     expect.placement_legal = true;
@@ -413,11 +450,171 @@ FlowResult run_flow_stages(netlist::Design& design,
     guard("size_mbrs", result.skew);
   }
 
+  // Bank/debank loop: repeatedly split the most timing-critical MBRs back
+  // into narrow registers, re-legalize them, offer them to scoped
+  // recomposition with fresh useful skew, and keep the iteration only if
+  // the combined cost (FlowOptions::cost) improved without new hold
+  // violations. A rejected iteration is rolled back bit-identically via
+  // design snapshot/restore and ends the loop -- the accepted cost
+  // trajectory is monotone non-increasing by construction.
+  bool debank_accepted_any = false;
+  if (options.debank_loop) {
+    obs::Span debank_span("flow.debank");
+    runtime::StageTimer timer(stage_metrics, "debank_loop");
+    static obs::Counter& c_iterations = obs::counter("flow.debank.iterations");
+    static obs::Counter& c_accepted = obs::counter("flow.debank.accepted");
+    static obs::Counter& c_reverted = obs::counter("flow.debank.reverted");
+    static obs::Counter& c_mbrs = obs::counter("flow.debank.mbrs_created");
+    const auto combined = [&](const Metrics& m) {
+      // Power term: dynamic clock power plus leakage, both in uW.
+      return options.cost.combined_cost(
+          m.tns, m.clock_power_uw + 1e-3 * m.leakage_nw, m.design.area);
+    };
+
+    const Metrics entry = evaluate_design(design, options, result.skew,
+                                          &engine);
+    double best_cost = combined(entry);
+    // Hold protection: an iteration may not add failing hold endpoints
+    // beyond what the flow already produced (normally zero).
+    const int entry_hold_failures = entry.failing_hold_endpoints;
+
+    for (int iter = 0; iter < options.debank.max_iterations; ++iter) {
+      obs::Span iter_span("flow.debank.iteration");
+      const netlist::Design::Snapshot saved_design = design.snapshot();
+      const sta::SkewMap saved_skew = result.skew;
+
+      const sta::TimingReport& critical_timing = engine.update(result.skew);
+      const DebankResult split = debank_critical_registers(
+          options.debank, design, critical_timing);
+      if (split.banks_split == 0) break;  // nothing critical left to try
+      c_iterations.add(1);
+
+      FlowResult::DebankIteration record;
+      record.banks_split = split.banks_split;
+      record.pieces_created = split.pieces_created;
+      record.cost_before = best_cost;
+
+      // The removed banks' skews die with them; the pieces start unskewed
+      // (the skew pass below may grant them fresh offsets).
+      for (netlist::CellId removed : split.removed) result.skew.erase(removed);
+
+      // The pieces overlap the old footprints and carry unstitched scan
+      // pins; repair both before planning on the new state.
+      expect.placement_legal = false;
+      expect.scan_stitched = false;
+      expect.nets_clean = false;
+      expect.register_count_bounded = false;
+      MBRC_ASSERT_MSG(legalize_new_cells(design, split.pieces).success,
+                      "debank legalization failed");
+      expect.placement_legal = true;
+      restitch_scan_chains(design);
+      expect.scan_stitched = true;
+      expect.nets_clean = true;
+      guard("debank.split", result.skew);
+
+      // Scoped recomposition: only the subgraphs touching the freed pieces
+      // are re-planned (the service's incremental-planning path), so the
+      // iteration cost scales with the perturbation, not the design.
+      const sta::TimingReport& replan_timing = engine.update(result.skew);
+      CompositionPlan region_plan = plan_composition_region(
+          design, replan_timing, split.pieces, composition_options);
+      ApplyOutcome applied = apply_plan_merges(
+          design, region_plan, options,
+          "mbrc_d" + std::to_string(iter) + "_");
+      record.mbrs_created = applied.mbrs_created;
+      // Merged members die in the rewire; drop their stale skew entries so
+      // the map only ever names live registers.
+      for (auto it = result.skew.begin(); it != result.skew.end();) {
+        if (design.cell(it->first).dead)
+          it = result.skew.erase(it);
+        else
+          ++it;
+      }
+      if (!applied.new_cells.empty()) {
+        expect.placement_legal = false;
+        expect.scan_stitched = false;
+        expect.nets_clean = false;
+        MBRC_ASSERT_MSG(legalize_new_cells(design, applied.new_cells).success,
+                        "debank recomposition legalization failed");
+        expect.placement_legal = true;
+        restitch_scan_chains(design);
+        expect.scan_stitched = true;
+        expect.nets_clean = true;
+      }
+      guard("debank.recompose", result.skew);
+
+      // Fresh skew freedom is the point of the split: the surviving pieces
+      // and the recomposed MBRs each get their own offset where the old
+      // bank had to share one.
+      std::vector<netlist::CellId> working = applied.new_cells;
+      for (netlist::CellId piece : split.pieces)
+        if (!design.cell(piece).dead) working.push_back(piece);
+      if (options.apply_useful_skew && !working.empty()) {
+        std::unordered_set<netlist::CellId> allowed(working.begin(),
+                                                    working.end());
+        const auto skew_result = optimize_useful_skew(
+            design, timing_options, options.skew, result.skew,
+            options.skew_only_new_mbrs ? &allowed : nullptr, &engine);
+        result.skew = skew_result.skew;
+        guard("debank.useful_skew", result.skew);
+      }
+      if (options.size_new_mbrs && !working.empty()) {
+        size_new_mbrs(design, working, result.skew, engine);
+        guard("debank.size_mbrs", result.skew);
+      }
+
+      const Metrics trial = evaluate_design(design, options, result.skew,
+                                            &engine);
+      record.cost_after = combined(trial);
+      record.tns = trial.tns;
+      record.clock_power_uw = trial.clock_power_uw;
+      record.area = trial.design.area;
+      const bool improved =
+          record.cost_after < best_cost - options.debank.cost_epsilon;
+      const bool hold_ok =
+          trial.failing_hold_endpoints <= entry_hold_failures;
+      record.accepted = improved && hold_ok;
+      result.debank_iterations.push_back(record);
+
+      if (record.accepted) {
+        debank_accepted_any = true;
+        best_cost = record.cost_after;
+        result.mbrs_created += applied.mbrs_created;
+        result.registers_merged += applied.registers_merged;
+        result.rejected_at_mapping += applied.rejected_at_mapping;
+        result.incomplete_mbrs += applied.incomplete_mbrs;
+        c_accepted.add(1);
+        c_mbrs.add(applied.mbrs_created);
+      } else {
+        // restore() bumps the topology version past every handed-out
+        // version, so the engine fully rebuilds on its next update and the
+        // later stages see the pre-iteration state bit-identically.
+        design.restore(saved_design);
+        result.skew = saved_skew;
+        c_reverted.add(1);
+        break;  // a non-improving perturbation ends the loop
+      }
+    }
+    timer.add_items(
+        static_cast<std::int64_t>(result.debank_iterations.size()));
+    expect.placement_legal = true;
+    expect.scan_stitched = true;
+    expect.nets_clean = true;
+  }
+
   {
     runtime::StageTimer timer(stage_metrics, "evaluate.after");
     result.after = evaluate_design(design, options, result.skew, &engine);
   }
-  expect.register_count_bounded = true;  // the paper's output guarantee
+  result.final_cost = options.cost.combined_cost(
+      result.after.tns,
+      result.after.clock_power_uw + 1e-3 * result.after.leakage_nw,
+      result.after.design.area);
+  // The paper's output guarantee -- composition never increases the
+  // register count. An accepted debank iteration deliberately trades count
+  // for timing (split pieces may outlive recomposition), so the bound is
+  // only enforced when no iteration was kept.
+  expect.register_count_bounded = !debank_accepted_any;
   guard("output", result.skew);
   result.total_seconds = total_clock.seconds();
   result.stages = stage_metrics.snapshot();

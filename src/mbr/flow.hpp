@@ -15,6 +15,8 @@
 #include "check/checker.hpp"
 #include "cts/cts.hpp"
 #include "mbr/composition.hpp"
+#include "mbr/cost.hpp"
+#include "mbr/debank.hpp"
 #include "mbr/decompose.hpp"
 #include "mbr/heuristic.hpp"
 #include "mbr/mapping.hpp"
@@ -44,6 +46,22 @@ struct FlowOptions {
   cts::CtsOptions cts;
   route::RouteOptions route;
   Allocator allocator = Allocator::kIlp;
+  /// Multi-objective cost model (mbr/cost.hpp): alpha scales the paper's
+  /// placement-aware timing weight, beta prices the created cell's power
+  /// proxy, gamma its area. The defaults (1, 0, 0) reproduce the paper's
+  /// pure Sec. 3.2 objective bit-exactly. The same knobs weigh the
+  /// combined-cost accept test of the bank/debank loop below.
+  CostModel cost;
+  /// Iterate bank/debank until converged: after the initial composition,
+  /// repeatedly split the most timing-critical MBRs back into narrow
+  /// registers (mbr/debank.hpp), re-legalize them, offer them to scoped
+  /// recomposition with fresh useful skew, and keep the iteration only if
+  /// the combined cost (alpha*TNS + beta*power + gamma*area) improved and
+  /// hold did not get worse. Monotone by construction: a non-improving
+  /// iteration is rolled back via design snapshot/restore and ends the
+  /// loop. Deterministic at any `jobs`.
+  bool debank_loop = false;
+  DebankOptions debank;
   /// The paper's future-work extension: split pre-existing max-width MBRs
   /// into pieces before composition so they can regroup with neighbors
   /// (targets D4-like designs that are already 8-bit rich).
@@ -112,6 +130,25 @@ struct FlowResult {
   int rejected_at_mapping = 0;   // selections dropped by Sec. 4.1 rules
   int incomplete_mbrs = 0;
   DecomposeResult decomposition;  // empty unless decompose_wide_mbrs
+  /// One entry per bank/debank loop iteration (debank_loop only). The cost
+  /// fields are part of the deterministic output contract; `accepted` tells
+  /// whether the iteration's state was kept or rolled back (a rejected
+  /// iteration is always the last).
+  struct DebankIteration {
+    int banks_split = 0;
+    int pieces_created = 0;
+    int mbrs_created = 0;       // MBRs recomposed from the freed pieces
+    double cost_before = 0.0;   // combined cost entering the iteration
+    double cost_after = 0.0;    // combined cost of the iteration's state
+    double tns = 0.0;           // TNS of the iteration's state (kept or not)
+    double clock_power_uw = 0.0;
+    double area = 0.0;
+    bool accepted = false;
+  };
+  std::vector<DebankIteration> debank_iterations;
+  /// Combined cost (FlowOptions::cost) of the final design state; with the
+  /// loop on this is the minimum over all accepted iterations.
+  double final_cost = 0.0;
   place::LegalizeResult legalization;
   RestitchStats restitch;
   sta::SkewMap skew;

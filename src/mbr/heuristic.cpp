@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
@@ -91,6 +92,10 @@ CompositionPlan plan_composition_heuristic(const netlist::Design& design,
       int bits = 0;
       double spread = 0.0;
     };
+    const CostModel& cost = options.enumeration.cost;
+    const lib::RegisterFunction function =
+        plan.graph.node(subgraph.front()).lib_cell->function;
+
     std::vector<Mapped> mapped;
     mapped.reserve(cliques.size());
     for (const auto& clique : cliques) {
@@ -102,6 +107,23 @@ CompositionPlan plan_composition_heuristic(const netlist::Design& design,
       for (int node : trimmed) {
         m.bits += plan.graph.node(node).bits;
         bbox = bbox.unite(plan.graph.node(node).footprint);
+      }
+      // Multi-objective gate (mbr/cost.hpp): refuse a merge whose created
+      // cell prices worse than the member cells it replaces. With the
+      // default model (beta = gamma = 0) both sides are zero and every
+      // merge passes, reproducing the plain greedy baseline.
+      if (cost.multi_objective()) {
+        const lib::RegisterCell* merged =
+            design.library().cheapest_cell(function, m.bits);
+        // Per-clique fold, serial within this task (not a cross-task
+        // reduction, so the order is fixed and deterministic).
+        const double replaced = std::accumulate(
+            trimmed.begin(), trimmed.end(), 0.0,
+            [&](double sum, int node) {
+              return sum + cost.cell_cost(*plan.graph.node(node).lib_cell);
+            });
+        if (merged == nullptr || cost.cell_cost(*merged) >= replaced)
+          continue;
       }
       m.spread = bbox.half_perimeter();
       m.nodes = std::move(trimmed);
@@ -132,7 +154,11 @@ CompositionPlan plan_composition_heuristic(const netlist::Design& design,
       selection.candidate.nodes = m.nodes;
       selection.candidate.bits = m.bits;
       selection.candidate.mapped_width = m.bits;
-      selection.candidate.weight = 1.0;
+      // The greedy baseline has no placement-aware weight (that is the
+      // ILP's edge); price the created cell so the reported objective is
+      // comparable across allocators under one cost model.
+      selection.candidate.weight = cost.candidate_cost(
+          1.0, design.library().cheapest_cell(function, m.bits));
       selection.candidate.needs_per_bit_scan =
           candidate_needs_per_bit_scan(plan.graph, m.nodes);
       selection.candidate.common_region = region;
@@ -149,7 +175,8 @@ CompositionPlan plan_composition_heuristic(const netlist::Design& design,
       selection.candidate.nodes = {node};
       selection.candidate.bits = plan.graph.node(node).bits;
       selection.candidate.mapped_width = selection.candidate.bits;
-      selection.candidate.weight = 1.0;
+      selection.candidate.weight =
+          cost.candidate_cost(1.0, plan.graph.node(node).lib_cell);
       selection.candidate.common_region = plan.graph.node(node).region;
       selection.members.push_back(plan.graph.node(node).cell);
       outcome.selections.push_back(std::move(selection));

@@ -109,6 +109,20 @@ void write_flow_report(std::ostream& os, const FlowOptions& options,
       .kv("v_capacity", options.route.v_capacity)
       .kv("pin_demand", options.route.pin_demand);
   w.end_object();
+  w.key("cost").begin_object();
+  w.kv("alpha", options.cost.alpha)
+      .kv("beta", options.cost.beta)
+      .kv("gamma", options.cost.gamma);
+  w.end_object();
+  w.kv("debank_loop", options.debank_loop);
+  w.key("debank").begin_object();
+  w.kv("slack_threshold", options.debank.slack_threshold)
+      .kv("piece_bits", options.debank.piece_bits)
+      .kv("min_bits", options.debank.min_bits)
+      .kv("max_banks_per_iteration", options.debank.max_banks_per_iteration)
+      .kv("max_iterations", options.debank.max_iterations)
+      .kv("cost_epsilon", options.debank.cost_epsilon);
+  w.end_object();
   w.kv("decompose_wide_mbrs", options.decompose_wide_mbrs);
   w.key("decompose").begin_object();
   w.kv("min_bits", options.decompose.min_bits)
@@ -144,8 +158,24 @@ void write_flow_report(std::ostream& os, const FlowOptions& options,
       .kv("rejected_at_mapping", result.rejected_at_mapping)
       .kv("incomplete_mbrs", result.incomplete_mbrs)
       .kv("skewed_registers", result.skew.size())
+      .kv("final_cost", result.final_cost)
       .kv("compose_seconds", result.compose_seconds)
       .kv("total_seconds", result.total_seconds);
+  w.key("debank_iterations").begin_array();
+  for (const auto& it : result.debank_iterations) {
+    w.begin_object();
+    w.kv("banks_split", it.banks_split)
+        .kv("pieces_created", it.pieces_created)
+        .kv("mbrs_created", it.mbrs_created)
+        .kv("cost_before", it.cost_before)
+        .kv("cost_after", it.cost_after)
+        .kv("tns", it.tns)
+        .kv("clock_power_uw", it.clock_power_uw)
+        .kv("area", it.area)
+        .kv("accepted", it.accepted);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 
   w.key("stages").begin_object();

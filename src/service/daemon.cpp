@@ -3,6 +3,7 @@
 #include <future>
 #include <istream>
 #include <limits>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -472,8 +473,23 @@ std::string Daemon::execute(Strand& strand, const obs::JsonValue& request) {
     std::vector<netlist::CellId> region;
     std::string error;
     if (!parse_ids(request, "region", region, error)) return fail(id, error);
-    const RecomposeAnswer answer = session.recompose(region);
+    // Optional per-request cost knobs (mbr/cost.hpp): any of alpha / beta /
+    // gamma present overrides the session's model for this plan only;
+    // absent knobs keep the session defaults.
+    std::optional<mbr::CostModel> cost;
+    if (request.find("alpha") != nullptr || request.find("beta") != nullptr ||
+        request.find("gamma") != nullptr) {
+      mbr::CostModel model =
+          session.options().composition.enumeration.cost;
+      model.alpha = request.number_or("alpha", model.alpha);
+      model.beta = request.number_or("beta", model.beta);
+      model.gamma = request.number_or("gamma", model.gamma);
+      cost = model;
+    }
+    const RecomposeAnswer answer = session.recompose(region, cost);
     if (!answer.ok()) return fail(id, answer.error);
+    const mbr::CostModel effective =
+        cost ? *cost : session.options().composition.enumeration.cost;
     std::ostringstream os;
     obs::JsonWriter w(os, 0);
     w.begin_object().kv("id", id).kv("ok", true);
@@ -484,6 +500,11 @@ std::string Daemon::execute(Strand& strand, const obs::JsonValue& request) {
     w.kv("planned_mbrs", answer.planned_mbrs);
     w.kv("merged_registers", answer.merged_registers);
     w.kv("objective", answer.objective);
+    w.key("cost").begin_object();
+    w.kv("alpha", effective.alpha);
+    w.kv("beta", effective.beta);
+    w.kv("gamma", effective.gamma);
+    w.end_object();
     w.end_object();
     return os.str();
   }

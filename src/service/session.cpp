@@ -165,7 +165,8 @@ TimingAnswer Session::query(const TimingQuery& query) {
   return answer;
 }
 
-RecomposeAnswer Session::recompose(const std::vector<netlist::CellId>& region) {
+RecomposeAnswer Session::recompose(const std::vector<netlist::CellId>& region,
+                                   const std::optional<mbr::CostModel>& cost) {
   obs::Span span("service.session.recompose");
   static obs::Counter& c_subgraphs = obs::counter("service.recompose.subgraphs");
 
@@ -189,8 +190,10 @@ RecomposeAnswer Session::recompose(const std::vector<netlist::CellId>& region) {
   if (cells.empty()) return answer;  // nothing touched: empty plan
 
   const sta::TimingReport& report = engine_.update(skew_);
+  mbr::CompositionOptions composition = options_.composition;
+  if (cost) composition.enumeration.cost = *cost;
   const mbr::CompositionPlan plan = mbr::plan_composition_region(
-      design_, report, cells, options_.composition);
+      design_, report, cells, composition);
 
   answer.subgraphs = plan.subgraph_count;
   answer.candidates = plan.candidate_count;

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -131,8 +132,11 @@ public:
   /// Re-runs candidate enumeration + ILP planning on the subgraphs touched
   /// by `region` (explicit register ids), or, when `region` is empty, by
   /// every register edited since the last implicit recompose (that set is
-  /// consumed). Planning only: the design is not modified.
-  RecomposeAnswer recompose(const std::vector<netlist::CellId>& region);
+  /// consumed). Planning only: the design is not modified. `cost`, when
+  /// present, overrides the session's multi-objective cost knobs
+  /// (alpha/beta/gamma, mbr/cost.hpp) for this request only.
+  RecomposeAnswer recompose(const std::vector<netlist::CellId>& region,
+                            const std::optional<mbr::CostModel>& cost = {});
 
   /// Runs the design checker now (structure, nets, scan, conservation; the
   /// engine cross-check at kParanoid) regardless of options().check_level.

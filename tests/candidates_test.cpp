@@ -9,6 +9,7 @@
 #include "mbr/cliques.hpp"
 #include "mbr/composition.hpp"
 #include "mbr/worked_example.hpp"
+#include "obs/counters.hpp"
 
 namespace mbrc::mbr {
 namespace {
@@ -256,6 +257,108 @@ TEST(PerBitScan, RuleMatrix) {
   EXPECT_TRUE(candidate_needs_per_bit_scan(g, {s0_0, s0_1, free1}));
   // A single ordered register is fine.
   EXPECT_FALSE(candidate_needs_per_bit_scan(g, {s0_0}));
+}
+
+TEST(CostModelTest, DefaultReducesToPaperWeight) {
+  const lib::Library library = lib::make_default_library();
+  const lib::RegisterCell* cell = library.cheapest_cell({}, 4);
+  ASSERT_NE(cell, nullptr);
+  const CostModel defaults;
+  EXPECT_FALSE(defaults.multi_objective());
+  // alpha=1, beta=gamma=0: the candidate cost IS the paper weight,
+  // bit-exactly, whatever cell would be created.
+  for (const double w : {0.125, 1.0 / 3, 0.5, 4.0, 16.0}) {
+    EXPECT_EQ(defaults.candidate_cost(w, cell), w);
+    EXPECT_EQ(defaults.candidate_cost(w, nullptr), w);
+  }
+
+  CostModel priced;
+  priced.beta = 0.1;
+  priced.gamma = 0.05;
+  EXPECT_TRUE(priced.multi_objective());
+  EXPECT_DOUBLE_EQ(priced.candidate_cost(0.5, cell),
+                   0.5 + 0.1 * cell->power_proxy() + 0.05 * cell->area);
+}
+
+TEST_F(WorkedExampleCandidates, TruncationGuardSingletonsCarryCostTerms) {
+  // Regression (S1): the truncation guard used to append lost singletons
+  // with the bare paper weight candidate_weight(bits, 0), silently dropping
+  // the beta/gamma cost terms every regularly-enumerated candidate carries.
+  // Under a multi-objective model that under-priced keeping a register
+  // unmerged, so the truncated ILP was biased toward unmerged banks.
+  EnumerationOptions costed;
+  costed.cost.beta = 0.1;
+  costed.cost.gamma = 0.05;
+  const EnumerationResult full = enumerate(costed);
+  std::map<std::string, double> full_weight;
+  for (const Candidate& c : full.candidates)
+    if (c.is_singleton()) full_weight[names(c.nodes)] = c.weight;
+  ASSERT_FALSE(full_weight.empty());
+
+  EnumerationOptions truncated = costed;
+  truncated.max_candidates_per_subgraph = 1;
+  const EnumerationResult result = enumerate(truncated);
+  ASSERT_TRUE(result.truncated);
+  int guarded = 0;
+  for (const Candidate& c : result.candidates) {
+    if (!c.is_singleton()) continue;
+    ++guarded;
+    const auto it = full_weight.find(names(c.nodes));
+    ASSERT_NE(it, full_weight.end()) << names(c.nodes);
+    // Identical to the untruncated enumeration's singleton pricing...
+    EXPECT_DOUBLE_EQ(c.weight, it->second) << names(c.nodes);
+    // ...which is strictly above the bare paper weight when beta/gamma on.
+    EXPECT_GT(c.weight, candidate_weight(c.bits, 0)) << names(c.nodes);
+  }
+  EXPECT_EQ(guarded, 6);  // every worked-example node kept its keep-option
+}
+
+TEST(DroppedInfiniteWeight, TalliedAndFlushedToCounter) {
+  // Two compatible 1-bit registers at diagonal corners; two strangers sit
+  // strictly inside the pair's convex hull. The pair candidate has n=2
+  // blockers >= b=2 bits -> infinite weight -> silently dropped by
+  // enumeration. Regression (S2): that drop used to vanish without a
+  // trace; it must be tallied in the result and flushed to the
+  // flow.candidates.dropped_infinite_weight counter.
+  const lib::Library library = lib::make_default_library();
+  const lib::RegisterCell* unit = library.cheapest_cell({}, 1);
+  ASSERT_NE(unit, nullptr);
+
+  CompatibilityGraph graph;
+  const auto add = [&](geom::Rect footprint) {
+    RegisterInfo info;
+    info.lib_cell = unit;
+    info.bits = 1;
+    info.footprint = footprint;
+    info.region = {-100.0, -100.0, 100.0, 100.0};
+    return graph.add_node(info);
+  };
+  const int a = add({0.0, 0.0, 1.0, 1.0});
+  const int b = add({10.0, 10.0, 11.0, 11.0});
+  add({4.0, 4.0, 5.0, 5.0});  // blocker, center (4.5, 4.5)
+  add({5.0, 5.0, 6.0, 6.0});  // blocker, center (5.5, 5.5)
+  graph.add_edge(a, b);
+  graph.finalize();
+
+  const BlockerIndex blockers(graph);
+  ASSERT_EQ(blockers.count_blockers(graph, {a, b}), 2);
+
+  const obs::CountersSnapshot before = obs::counters_snapshot();
+  const EnumerationResult result =
+      enumerate_candidates(graph, library, blockers, {a, b}, {});
+  const obs::CountersSnapshot delta =
+      obs::counters_delta(before, obs::counters_snapshot());
+
+  EXPECT_EQ(result.dropped_infinite_weight, 1);
+  const auto it =
+      delta.counters.find("flow.candidates.dropped_infinite_weight");
+  ASSERT_NE(it, delta.counters.end());
+  EXPECT_EQ(it->second, 1);
+  // The pair is gone but both keep-as-is singletons survived.
+  int singletons = 0;
+  for (const Candidate& c : result.candidates) singletons += c.is_singleton();
+  EXPECT_EQ(singletons, 2);
+  EXPECT_EQ(result.candidates.size(), 2u);
 }
 
 }  // namespace

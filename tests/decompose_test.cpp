@@ -113,6 +113,70 @@ TEST_F(DecomposeFixture, PieceWidthMustDivide) {
   EXPECT_EQ(result.registers_split, 0);
 }
 
+TEST_F(DecomposeFixture, SlackGateUsesWorstConstrainedBit) {
+  // Planted corruption scenario for the slack gate (S3 regression): wide
+  // register "a" has a comfortable D side (short path from "s") and a
+  // critical Q side (a deep inverter chain into "b"). The gate used to
+  // average the two sides, and the comfortable D side dragged (d+q)/2
+  // above min_slack -- so the critical bank was split even though its
+  // pieces' feasible regions were pinned by the real slack. The gate must
+  // key on the worst *constrained* bit, min(d, q).
+  const CellId a = add_wide("a", {20, 9});
+  const CellId s = add_wide("s", {10, 9});
+  const CellId b = add_wide("b", {190, 9});
+  const auto* inv = library.comb_by_name("INV_X1");
+
+  const auto chain_pins = [&](CellId cell, bool output) {
+    for (netlist::PinId p : design.cell(cell).pins)
+      if (design.pin(p).is_output == output) return p;
+    return netlist::PinId{};
+  };
+  // Short hop s.Q[0] -> inv -> a.D[0]: "a" gets a comfortable D slack.
+  const CellId feed = design.add_comb("feed", inv, {15, 9});
+  design.connect(chain_pins(feed, false), q_nets["s"][0]);
+  design.connect(chain_pins(feed, true), d_nets["a"][0]);
+  // Deep chain a.Q[0] -> inv* -> b.D[0] zig-zagging across the core:
+  // "a"'s Q slack sinks below the gate (assertions below pin that).
+  NetId prev = q_nets["a"][0];
+  const int kStages = 8;
+  for (int i = 0; i < kStages; ++i) {
+    const double x = (i % 2 == 0) ? 190.0 : 30.0;
+    const CellId stage =
+        design.add_comb("chain" + std::to_string(i), inv, {x, 20});
+    design.connect(chain_pins(stage, false), prev);
+    if (i + 1 == kStages) {
+      design.connect(chain_pins(stage, true), d_nets["b"][0]);
+    } else {
+      prev = design.create_net();
+      design.connect(chain_pins(stage, true), prev);
+    }
+  }
+
+  sta::TimingOptions timing;
+  const sta::TimingReport report = sta::run_sta(design, timing);
+  DecomposeOptions options;  // min_slack = 0.02
+
+  // Preconditions that make this the regression scenario: Q critical, D
+  // comfortable, and the old averaged gate would have passed.
+  const double d = report.register_d_slack(design, a);
+  const double q = report.register_q_slack(design, a);
+  ASSERT_NE(d, sta::kNoRequired);
+  ASSERT_NE(q, sta::kNoRequired);
+  ASSERT_LT(q, options.min_slack) << "chain not deep enough";
+  ASSERT_GE(d, options.min_slack);
+  ASSERT_GE((d + q) / 2, options.min_slack)
+      << "average would reject too: scenario lost its teeth";
+
+  const DecomposeResult result =
+      decompose_registers(design, options, &report);
+  EXPECT_FALSE(design.cell(a).dead) << "critical bank must stay intact";
+  EXPECT_FALSE(design.cell(b).dead) << "critical D side must gate too";
+  // "s" (unconstrained D side, comfortable Q side) is the control: the
+  // gate still opens for genuinely slack-rich registers.
+  EXPECT_TRUE(design.cell(s).dead);
+  EXPECT_EQ(result.registers_split, 1);
+}
+
 TEST_F(DecomposeFixture, TimingEndpointsPreserved) {
   add_wide("w", {50, 9});
   sta::TimingOptions timing;

@@ -173,6 +173,122 @@ TEST_F(FlowFixture, MappedCellsRespectDriveRule) {
   }
 }
 
+// Debank-loop tests run on a pressured variant of the flow profile: an
+// 8-bit-rich width mix plus a high failing-endpoint fraction, so the
+// post-composition design actually carries timing-critical MBRs for the
+// loop to split.
+class DebankFixture : public FlowFixture {
+protected:
+  DebankFixture() {
+    profile.failing_endpoint_fraction = 0.50;
+    profile.width_mix = {{1, 0.35}, {2, 0.20}, {4, 0.25}, {8, 0.20}};
+  }
+
+  static double combined(const CostModel& cost, const Metrics& m) {
+    return cost.combined_cost(m.tns, m.clock_power_uw + 1e-3 * m.leakage_nw,
+                              m.design.area);
+  }
+};
+
+TEST_F(DebankFixture, LoopConvergesWithMonotoneCost) {
+  FlowOptions options;
+  options.debank_loop = true;
+  const FlowResult r = run(options);
+  // Terminates within the iteration budget.
+  ASSERT_LE(r.debank_iterations.size(),
+            static_cast<std::size_t>(options.debank.max_iterations));
+  // The pressured profile must actually exercise the loop (otherwise the
+  // monotonicity checks below are vacuous).
+  ASSERT_FALSE(r.debank_iterations.empty());
+  for (std::size_t i = 0; i < r.debank_iterations.size(); ++i) {
+    const FlowResult::DebankIteration& it = r.debank_iterations[i];
+    EXPECT_GT(it.banks_split, 0);
+    EXPECT_GE(it.pieces_created, 2 * it.banks_split);
+    if (it.accepted) {
+      // Accepted iterations strictly improve the combined cost...
+      EXPECT_LT(it.cost_after, it.cost_before);
+    } else {
+      // ...and a rejected iteration is reverted and ends the loop.
+      EXPECT_EQ(i + 1, r.debank_iterations.size());
+    }
+    // The running best threads through: each iteration starts from the
+    // last accepted cost (monotone non-increasing trajectory).
+    if (i > 0 && r.debank_iterations[i - 1].accepted)
+      EXPECT_DOUBLE_EQ(it.cost_before, r.debank_iterations[i - 1].cost_after);
+  }
+  // final_cost is the combined cost of the final metrics, and it never
+  // exceeds the loop's entry cost (the first iteration's cost_before).
+  EXPECT_DOUBLE_EQ(r.final_cost, combined(options.cost, r.after));
+  EXPECT_LE(r.final_cost, r.debank_iterations.front().cost_before + 1e-9);
+  // Hold protection: the loop may not mint hold violations.
+  EXPECT_EQ(r.after.failing_hold_endpoints, 0);
+}
+
+TEST_F(DebankFixture, LoopImprovesTnsAtAlphaDominantCost) {
+  FlowOptions plain;
+  FlowOptions loop;
+  loop.debank_loop = true;
+  const FlowResult r_plain = run(plain);
+  const FlowResult r_loop = run(loop);
+  // Everything before the loop is deterministic and identical, so the loop
+  // entry state equals the plain result; with the default alpha-dominant
+  // cost (pure TNS), any accepted iteration strictly improved TNS.
+  EXPECT_LE(r_loop.final_cost, r_plain.final_cost);
+  const bool accepted_any =
+      std::any_of(r_loop.debank_iterations.begin(),
+                  r_loop.debank_iterations.end(),
+                  [](const FlowResult::DebankIteration& it) {
+                    return it.accepted;
+                  });
+  if (accepted_any) EXPECT_GT(r_loop.after.tns, r_plain.after.tns);
+}
+
+TEST_F(DebankFixture, BetaGammaDominantNeverRegressesPowerOrArea) {
+  FlowOptions plain;
+  FlowOptions loop;
+  plain.cost.alpha = loop.cost.alpha = 0.02;
+  plain.cost.beta = loop.cost.beta = 1.0;
+  plain.cost.gamma = loop.cost.gamma = 0.3;
+  loop.debank_loop = true;
+  const FlowResult r_plain = run(plain);
+  const FlowResult r_loop = run(loop);
+  // The accept gate keys on the beta/gamma-dominant combined cost, so the
+  // loop can only improve the power/area-weighted objective relative to
+  // the plain flow -- debanking never buys timing with power or area here.
+  EXPECT_LE(r_loop.final_cost, r_plain.final_cost);
+}
+
+TEST_F(DebankFixture, JobsInvariantBitIdentical) {
+  FlowOptions serial_options;
+  FlowOptions parallel_options;
+  serial_options.debank_loop = parallel_options.debank_loop = true;
+  serial_options.jobs = 1;
+  parallel_options.jobs = 8;
+  const FlowResult a = run(serial_options);
+  const FlowResult b = run(parallel_options);
+  // The determinism contract extends through the debank loop: counters,
+  // the full iteration trajectory, and the final cost are bit-identical
+  // at any jobs setting.
+  EXPECT_TRUE(a.counters == b.counters);
+  EXPECT_EQ(a.mbrs_created, b.mbrs_created);
+  EXPECT_EQ(a.registers_merged, b.registers_merged);
+  EXPECT_EQ(a.final_cost, b.final_cost);
+  ASSERT_EQ(a.debank_iterations.size(), b.debank_iterations.size());
+  for (std::size_t i = 0; i < a.debank_iterations.size(); ++i) {
+    const FlowResult::DebankIteration& x = a.debank_iterations[i];
+    const FlowResult::DebankIteration& y = b.debank_iterations[i];
+    EXPECT_EQ(x.banks_split, y.banks_split);
+    EXPECT_EQ(x.pieces_created, y.pieces_created);
+    EXPECT_EQ(x.mbrs_created, y.mbrs_created);
+    EXPECT_EQ(x.cost_before, y.cost_before);
+    EXPECT_EQ(x.cost_after, y.cost_after);
+    EXPECT_EQ(x.tns, y.tns);
+    EXPECT_EQ(x.clock_power_uw, y.clock_power_uw);
+    EXPECT_EQ(x.area, y.area);
+    EXPECT_EQ(x.accepted, y.accepted);
+  }
+}
+
 // Regression for the stale-report sizing bug: two coupled MBRs where the
 // first swap physically degrades the second cell's timing. `b` drives the
 // bit-7 D pin of the wide 8-bit MBR `a`; when the sizer upsizes `a` (X1 ->

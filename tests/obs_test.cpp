@@ -496,6 +496,16 @@ mbr::FlowOptions fully_mutated(const mbr::FlowOptions& defaults) {
   o.allocator = o.allocator == mbr::Allocator::kIlp
                     ? mbr::Allocator::kHeuristic
                     : mbr::Allocator::kIlp;
+  o.cost.alpha += 0.5;
+  o.cost.beta += 0.25;
+  o.cost.gamma += 0.1;
+  o.debank_loop = !o.debank_loop;
+  o.debank.slack_threshold += 0.04;
+  o.debank.piece_bits += 1;
+  o.debank.min_bits += 2;
+  o.debank.max_banks_per_iteration += 4;
+  o.debank.max_iterations += 3;
+  o.debank.cost_epsilon += 1e-6;
   o.decompose_wide_mbrs = !o.decompose_wide_mbrs;
   o.decompose.min_bits -= 2;
   o.decompose.piece_bits -= 2;
@@ -542,9 +552,19 @@ TEST(FlowReport, OptionsEchoIsComplete) {
       "composition.jobs",
       "composition.partition.max_nodes",
       "composition.solver.max_nodes",
+      "cost.alpha",
+      "cost.beta",
+      "cost.gamma",
       "cts.load_utilization",
       "cts.max_fanout",
       "cts.wire_cap_per_um",
+      "debank.cost_epsilon",
+      "debank.max_banks_per_iteration",
+      "debank.max_iterations",
+      "debank.min_bits",
+      "debank.piece_bits",
+      "debank.slack_threshold",
+      "debank_loop",
       "decompose.min_bits",
       "decompose.min_slack",
       "decompose.piece_bits",

@@ -604,5 +604,40 @@ TEST(ServiceTest, RecomposePlansTouchedSubgraphsOnly) {
   EXPECT_EQ(drained.int_or("region_registers", -1), 0);
 }
 
+// Per-request cost knobs: absent knobs echo the session's model (the
+// paper default), present knobs override for that plan only and the
+// response echoes the effective values.
+TEST(ServiceTest, RecomposeCostKnobsEchoEffectiveModel) {
+  const lib::Library library = lib::make_default_library();
+  service::Daemon daemon(library, {.jobs = 1});
+  parse_ok(daemon.handle_sync(open_request(1, "s")));
+
+  const obs::JsonValue plain = parse_ok(
+      daemon.handle_sync(simple_request(2, "recompose_region", "s")));
+  const obs::JsonValue* defaults = plain.find("cost");
+  ASSERT_NE(defaults, nullptr);
+  EXPECT_EQ(defaults->number_or("alpha", -1.0), 1.0);
+  EXPECT_EQ(defaults->number_or("beta", -1.0), 0.0);
+  EXPECT_EQ(defaults->number_or("gamma", -1.0), 0.0);
+
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object().kv("id", 3).kv("cmd", "recompose_region");
+  w.kv("session", "s").kv("beta", 0.25).kv("gamma", 0.125);
+  w.end_object();
+  const obs::JsonValue priced = parse_ok(daemon.handle_sync(os.str()));
+  const obs::JsonValue* cost = priced.find("cost");
+  ASSERT_NE(cost, nullptr);
+  // alpha was absent, so the session default survives the override.
+  EXPECT_EQ(cost->number_or("alpha", -1.0), 1.0);
+  EXPECT_EQ(cost->number_or("beta", -1.0), 0.25);
+  EXPECT_EQ(cost->number_or("gamma", -1.0), 0.125);
+
+  // The override is per request: the next plain plan is back on defaults.
+  const obs::JsonValue again = parse_ok(
+      daemon.handle_sync(simple_request(4, "recompose_region", "s")));
+  EXPECT_EQ(again.find("cost")->number_or("beta", -1.0), 0.0);
+}
+
 }  // namespace
 }  // namespace mbrc
