@@ -30,11 +30,17 @@ Metrics evaluate_design(const netlist::Design& design,
   const bool overlap = options.jobs > 1;
   std::future<cts::ClockTreeStats> tree_future;
   std::future<route::CongestionMap> congestion_future;
+  // Both tasks capture this frame by reference, and engine->update/run_sta
+  // below can throw before the help_get calls collect them; the drain
+  // guard blocks every exit path until the watched futures settle.
+  runtime::FutureDrain frame_drain(pool);
   if (overlap) {
     tree_future = pool.async(
         [&] { return cts::estimate_clock_tree(design, options.cts); });
+    frame_drain.watch(tree_future);
     congestion_future = pool.async(
         [&] { return route::estimate_congestion(design, options.route); });
+    frame_drain.watch(congestion_future);
   }
 
   const sta::TimingReport& timing =

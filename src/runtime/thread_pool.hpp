@@ -111,6 +111,43 @@ T help_get(ThreadPool& pool, std::future<T> future) {
   return future.get();
 }
 
+/// RAII companion to ThreadPool::async for exception safety. Tasks whose
+/// lambdas capture the submitting frame by reference dangle when an
+/// exception unwinds past the help_get that was supposed to collect them;
+/// a FutureDrain declared *before* the submissions blocks scope exit --
+/// normal or exceptional -- until every watched future settled, helping
+/// the pool drain instead of idling (same loop as help_get). mbrc-analyze
+/// rule A2 recognizes this type as a wait that dominates every exit.
+class FutureDrain {
+ public:
+  explicit FutureDrain(ThreadPool& pool) : pool_(&pool) {}
+  FutureDrain(const FutureDrain&) = delete;
+  FutureDrain& operator=(const FutureDrain&) = delete;
+
+  /// Registers `future` to be drained on scope exit. The future stays
+  /// usable: consuming it via get()/help_get marks it invalid and the
+  /// destructor skips it.
+  template <class T>
+  void watch(std::future<T>& future) {
+    waiters_.push_back([&future] {
+      return future.valid() &&
+             future.wait_for(std::chrono::seconds(0)) !=
+                 std::future_status::ready;
+    });
+  }
+
+  ~FutureDrain() {
+    for (const auto& pending : waiters_)
+      while (pending())
+        if (!pool_->run_one())
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::vector<std::function<bool()>> waiters_;
+};
+
 namespace detail {
 
 // Shared between the caller and its helper tasks via shared_ptr: the caller
@@ -180,6 +217,7 @@ void parallel_for(ThreadPool* pool, int jobs, std::size_t count,
        static_cast<std::size_t>(pool->worker_count()), chunks - 1}));
   state->live_helpers.store(helpers);
   for (int h = 0; h < helpers; ++h) {
+    // mbrc-analyze: allow(A2, run_chunks traps all exceptions in st.error so the drain loop below runs on every path)
     pool->submit([state, run_chunks] {
       {
         detail::label_worker_for_trace();

@@ -281,6 +281,10 @@ std::string Daemon::handle_sync(const std::string& line) {
 
 std::size_t Daemon::serve(std::istream& in, std::ostream& out) {
   std::mutex out_mutex;
+  // The sink captures this frame; a throw on the read loop's back edge
+  // (getline, shutdown check) must still drain in-flight requests before
+  // out/out_mutex die.
+  DrainGuard drain_guard(*this);
   const auto sink = [&out, &out_mutex](std::string response) {
     std::lock_guard<std::mutex> lock(out_mutex);
     out << response << '\n';
@@ -295,8 +299,7 @@ std::size_t Daemon::serve(std::istream& in, std::ostream& out) {
     ++served;
     line.clear();
   }
-  drain();
-  return served;
+  return served;  // drain_guard drains before out/out_mutex go away
 }
 
 // ---------------------------------------------------------------------------

@@ -123,4 +123,20 @@ private:
   bool shutdown_ = false;
 };
 
+/// RAII drain for scopes that hand the daemon request sinks referencing
+/// locals: the destructor runs Daemon::drain() on every exit path,
+/// exceptional unwind included, so no posted job outlives what its sink
+/// captured. mbrc-analyze rule A2 recognizes this type as a wait that
+/// dominates every exit.
+class DrainGuard {
+ public:
+  explicit DrainGuard(Daemon& daemon) : daemon_(daemon) {}
+  DrainGuard(const DrainGuard&) = delete;
+  DrainGuard& operator=(const DrainGuard&) = delete;
+  ~DrainGuard() { daemon_.drain(); }
+
+ private:
+  Daemon& daemon_;
+};
+
 }  // namespace mbrc::service

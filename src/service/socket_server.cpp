@@ -92,7 +92,16 @@ std::size_t SocketServer::run() {
 }
 
 void SocketServer::serve_connection(int fd) {
+  // Teardown order on every exit path, exceptional unwind included:
+  // destructors run in reverse, so the drain guard (declared second)
+  // finishes this client's in-flight requests -- whose sinks capture fd
+  // and write_mutex -- before the closer releases the socket.
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
   std::mutex write_mutex;
+  DrainGuard drain_guard(daemon_);
   const auto sink = [fd, &write_mutex](std::string response) {
     response += '\n';
     std::lock_guard<std::mutex> lock(write_mutex);
@@ -123,10 +132,6 @@ void SocketServer::serve_connection(int fd) {
     pending.erase(0, start);
     if (daemon_.shutdown_requested()) break;
   }
-  // Connection teardown: finish this client's in-flight requests before the
-  // sink (which captures fd) goes out of scope.
-  daemon_.drain();
-  ::close(fd);
 }
 
 }  // namespace mbrc::service

@@ -16,10 +16,23 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "util/assert.hpp"
+
+// Compile-time default for Arena reset poisoning (see Arena::set_poison).
+// Debug builds default it on so stale arena views read as 0xCD garbage
+// instead of plausible leftovers; the runtime knob exists because this
+// header is inlined into many TUs and a per-TU macro would be an ODR trap.
+#ifndef MBRC_ARENA_POISON
+#ifdef NDEBUG
+#define MBRC_ARENA_POISON 0
+#else
+#define MBRC_ARENA_POISON 1
+#endif
+#endif
 
 namespace mbrc::util {
 
@@ -46,8 +59,12 @@ public:
   }
 
   /// Rewinds to the first block, keeping every block for reuse. Outstanding
-  /// allocations become invalid.
+  /// allocations become invalid; with poisoning on, they become *loudly*
+  /// invalid -- every block is memset to 0xCD so a dangling arena view
+  /// (mbrc-analyze rule A1) fails fast instead of reading stale values.
   void reset() {
+    if (poison_)
+      for (Block& b : blocks_) std::memset(b.data.get(), 0xCD, b.size);
     block_ = 0;
     bytes_allocated_ = 0;
     if (blocks_.empty()) {
@@ -57,6 +74,12 @@ public:
       enter_block(0);
     }
   }
+
+  /// Debug poisoning knob; defaults to the MBRC_ARENA_POISON macro (on in
+  /// debug builds). A runtime bool rather than compile-time dispatch so a
+  /// test can flip it per-arena without ODR hazards from this inline header.
+  void set_poison(bool on) { poison_ = on; }
+  bool poison() const { return poison_; }
 
   /// Bytes handed out since construction or the last reset().
   std::size_t bytes_allocated() const { return bytes_allocated_; }
@@ -104,6 +127,7 @@ private:
   std::uintptr_t limit_ = 0;
   std::size_t next_block_bytes_;
   std::size_t bytes_allocated_ = 0;
+  bool poison_ = MBRC_ARENA_POISON != 0;
 };
 
 /// std::allocator-shaped handle onto an Arena, for container scratch:

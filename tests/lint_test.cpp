@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "driver.hpp"
 #include "lint.hpp"
 
 namespace mbrc::lint {
@@ -633,6 +634,27 @@ TEST(LintOptionsTest, RuleFilterRunsOnlySelectedRules) {
   only_r3.rules = {"R3"};
   const auto result = lint_one(fixture, only_r3);
   ASSERT_EQ(active_rules(result), std::vector<std::string>{"R3"});
+}
+
+// --- Positions --------------------------------------------------------------
+
+TEST(LintPositions, FindingCarriesTheAnchorTokensColumn) {
+  const auto result = lint_one(R"(
+    void f(std::vector<int>& out) {
+      std::unordered_map<int, int> counts;
+      for (const auto& [key, value] : counts) {
+        out.push_back(key);
+      }
+    }
+  )");
+  ASSERT_EQ(result.findings.size(), 1u);
+  // The R1 anchor is the `for` keyword: fixture line 4, byte column 7.
+  EXPECT_EQ(result.findings[0].line, 4);
+  EXPECT_EQ(result.findings[0].col, 7);
+  EXPECT_EQ(analysis::format_location(result.findings[0].path,
+                                      result.findings[0].line,
+                                      result.findings[0].col),
+            "src/fixture.cpp:4:7");
 }
 
 }  // namespace

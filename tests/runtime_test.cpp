@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "runtime/stage_timer.hpp"
 #include "runtime/thread_pool.hpp"
+#include "util/arena.hpp"
 
 namespace mbrc::runtime {
 namespace {
@@ -54,6 +57,79 @@ TEST(ThreadPool, AsyncPropagatesExceptions) {
     throw std::runtime_error("async boom");
   });
   EXPECT_THROW(help_get(pool, std::move(future)), std::runtime_error);
+}
+
+TEST(FutureDrain, DrainsWatchedFuturesOnScopeExit) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<bool> task_done{false};
+  {
+    FutureDrain drain(pool);
+    auto future = pool.async([&] {
+      while (!release.load()) std::this_thread::yield();
+      task_done.store(true);
+      return 7;
+    });
+    drain.watch(future);
+    release.store(true);
+    // Scope exits without consuming the future: the guard must block until
+    // the task ran, or `release`/`task_done` would dangle under it.
+  }
+  EXPECT_TRUE(task_done.load());
+}
+
+TEST(FutureDrain, KeepsFrameAliveThroughExceptionalUnwind) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  auto run = [&] {
+    std::atomic<bool> release{false};
+    FutureDrain drain(pool);
+    auto future = pool.async([&] {
+      while (!release.load()) std::this_thread::yield();
+      sum.fetch_add(41);
+      return 0;
+    });
+    drain.watch(future);
+    release.store(true);
+    throw std::runtime_error("unwind before help_get");
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  // The throw unwound past the normal wait, but the guard drained the task
+  // before `release` and `sum`'s capture frame died.
+  EXPECT_EQ(sum.load(), 41);
+}
+
+TEST(FutureDrain, SkipsFuturesAlreadyConsumed) {
+  ThreadPool pool(2);
+  FutureDrain drain(pool);
+  auto future = pool.async([] { return 5; });
+  drain.watch(future);
+  EXPECT_EQ(help_get(pool, std::move(future)), 5);
+  // Destructor sees an invalid future and must not wait on it.
+}
+
+TEST(ArenaPoison, ResetOverwritesOldAllocations) {
+  util::Arena arena(64);
+  arena.set_poison(true);
+  auto* slot = static_cast<unsigned char*>(arena.allocate(16, 8));
+  std::memset(slot, 0xAB, 16);
+  arena.reset();
+  // The dangling view now reads the 0xCD fill pattern, not stale data.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(slot[i], 0xCD);
+}
+
+TEST(ArenaPoison, DisabledResetLeavesBytesInPlace) {
+  util::Arena arena(64);
+  arena.set_poison(false);
+  auto* slot = static_cast<unsigned char*>(arena.allocate(16, 8));
+  std::memset(slot, 0xAB, 16);
+  arena.reset();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(slot[i], 0xAB);
+}
+
+TEST(ArenaPoison, DefaultTracksBuildTypeMacro) {
+  util::Arena arena;
+  EXPECT_EQ(arena.poison(), MBRC_ARENA_POISON != 0);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {

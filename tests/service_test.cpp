@@ -389,6 +389,55 @@ TEST(ServiceTest, ConcurrentSessionsAreByteIdenticalAcrossJobs) {
     EXPECT_EQ(parallel_responses.at(rid), response) << "request id " << rid;
 }
 
+// Forced session-interleaving: one request per session per step, so at
+// jobs = 4 the three FIFO strands race each other on every round, with
+// snapshot/apply_edits/rollback churn landing between the racing queries.
+// This is the invariant mbrc-analyze rule A3 (strand discipline) guards
+// statically: Session state is only ever touched on its own strand, so
+// cross-session scheduling can never leak into response bytes.
+TEST(ServiceTest, StrandsStayDeterministicUnderForcedRollbackInterleaving) {
+  const lib::Library library = lib::make_default_library();
+  std::vector<std::string> transcript;
+  std::int64_t id = 1;
+  const std::vector<std::string> sessions = {"a", "b", "c"};
+  std::map<std::string, benchgen::GeneratedDesign> refs;
+  std::map<std::string, sta::SkewMap> skews;
+  for (const std::string& s : sessions) {
+    transcript.push_back(open_request(id++, s));
+    refs.emplace(s, reference_design(library));
+  }
+  util::Rng rng(0x57a9d);
+  for (int round = 0; round < 6; ++round) {
+    const std::string tag = "r" + std::to_string(round);
+    for (const std::string& s : sessions)
+      transcript.push_back(simple_request(id++, "snapshot", s, tag));
+    for (const std::string& s : sessions)
+      transcript.push_back(edits_request(
+          id++, s, mutate_reference(refs.at(s).design, skews[s], rng)));
+    for (const std::string& s : sessions)
+      transcript.push_back(query_request(id++, s, {}, {}));
+    if (round % 2 == 1) {
+      // Roll every session back one round while the other strands are
+      // mid-query; the author copies diverge but stay edit-compatible
+      // (moves clamp to the core, swaps list variants by function).
+      const std::string back = "r" + std::to_string(round - 1);
+      for (const std::string& s : sessions)
+        transcript.push_back(simple_request(id++, "rollback", s, back));
+    }
+    for (const std::string& s : sessions)
+      transcript.push_back(query_request(id++, s, {}, {}));
+  }
+
+  service::Daemon serial(library, {.jobs = 1});
+  service::Daemon parallel(library, {.jobs = 4});
+  const auto serial_responses = run_transcript(serial, transcript);
+  const auto parallel_responses = run_transcript(parallel, transcript);
+  ASSERT_EQ(serial_responses.size(), transcript.size());
+  ASSERT_EQ(parallel_responses.size(), transcript.size());
+  for (const auto& [rid, response] : serial_responses)
+    EXPECT_EQ(parallel_responses.at(rid), response) << "request id " << rid;
+}
+
 // Dirty-cone repair, visible through the protocol: topology-preserving
 // edits must never trigger a second full build, and repairs must touch a
 // strict subset of the pins.

@@ -1,0 +1,186 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace mbrc::analysis {
+
+namespace {
+
+bool scannable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Paths are emitted relative to the deepest of src/tools/tests/bench on the
+/// way, keeping baseline entries machine-independent.
+std::string display_path(const fs::path& path) {
+  const fs::path norm = path.lexically_normal();
+  std::vector<std::string> parts;
+  for (const auto& part : norm) parts.push_back(part.string());
+  for (std::size_t i = parts.size(); i-- > 0;) {
+    if (parts[i] == "src" || parts[i] == "tools" || parts[i] == "tests" ||
+        parts[i] == "bench") {
+      fs::path rel;
+      for (std::size_t j = i; j < parts.size(); ++j) rel /= parts[j];
+      return rel.generic_string();
+    }
+  }
+  return norm.generic_string();
+}
+
+}  // namespace
+
+std::string format_location(const std::string& path, int line, int col) {
+  std::string out = path + ':' + std::to_string(line);
+  if (col > 0) out += ':' + std::to_string(col);
+  return out;
+}
+
+int run_tool(const ToolSpec& spec, int argc, char** argv) {
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool verbose = false;
+  std::vector<std::string> rules;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << spec.name << ": " << arg << " requires an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--baseline") {
+      baseline_path = next();
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = next();
+    } else if (arg == "--rules") {
+      std::istringstream ss(next());
+      std::string rule;
+      while (std::getline(ss, rule, ',')) rules.push_back(rule);
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << spec.name
+                << " [--baseline FILE] [--write-baseline FILE] [--rules "
+                << spec.rules_example << "] [--verbose] PATH...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << spec.name << ": unknown option " << arg << '\n';
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << spec.name << ": no input paths (try --help)\n";
+    return 2;
+  }
+
+  std::vector<SourceFile> files;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      std::vector<fs::path> found;
+      for (const auto& entry : fs::recursive_directory_iterator(input))
+        if (entry.is_regular_file() && scannable(entry.path()))
+          found.push_back(entry.path());
+      std::sort(found.begin(), found.end());
+      for (const fs::path& path : found) {
+        SourceFile file;
+        file.path = display_path(path);
+        if (!read_file(path.string(), &file.content)) {
+          std::cerr << spec.name << ": cannot read " << path << '\n';
+          return 2;
+        }
+        files.push_back(std::move(file));
+      }
+    } else {
+      SourceFile file;
+      file.path = display_path(input);
+      if (!read_file(input, &file.content)) {
+        std::cerr << spec.name << ": cannot read " << input << '\n';
+        return 2;
+      }
+      files.push_back(std::move(file));
+    }
+  }
+
+  std::vector<BaselineEntry> baseline;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, &text)) {
+      std::cerr << spec.name << ": cannot read baseline " << baseline_path
+                << '\n';
+      return 2;
+    }
+    baseline = parse_baseline(text);
+  }
+
+  const Report result = spec.run(files, rules, baseline);
+
+  if (!write_baseline_path.empty()) {
+    std::vector<Finding> grandfather;
+    for (const Finding& f : result.findings)
+      if (!f.suppressed) grandfather.push_back(f);
+    std::ofstream os(write_baseline_path);
+    os << format_baseline(grandfather, spec.name);
+    std::cout << spec.name << ": wrote " << grandfather.size()
+              << " baseline entries to " << write_baseline_path << '\n';
+    return 0;
+  }
+
+  int suppressed = 0, baselined = 0;
+  for (const Finding& f : result.findings) {
+    const std::string loc = format_location(f.path, f.line, f.col);
+    if (f.suppressed) {
+      ++suppressed;
+      if (verbose)
+        std::cout << loc << ": " << f.rule << ": suppressed ("
+                  << f.suppress_reason << ")\n";
+      continue;
+    }
+    if (f.baselined) {
+      ++baselined;
+      if (verbose) std::cout << loc << ": " << f.rule << ": baselined\n";
+      continue;
+    }
+    std::cout << loc << ": " << f.rule << ": " << f.message << '\n';
+    for (const std::string& step : f.chain)
+      std::cout << "    " << step << '\n';
+  }
+  for (const Finding& f : result.bad_suppressions)
+    std::cout << format_location(f.path, f.line, f.col) << ": " << f.rule
+              << ": " << f.message << '\n';
+  for (const BaselineEntry& e : result.stale_baseline)
+    std::cout << e.path << ": stale baseline entry (" << e.rule
+              << "): the flagged line changed or was fixed -- remove the "
+                 "entry or run --write-baseline\n";
+
+  const auto active = result.active();
+  std::cout << spec.name << ": " << files.size() << " files, "
+            << active.size() << " active finding(s), " << suppressed
+            << " suppressed, " << baselined << " baselined, "
+            << result.stale_baseline.size() << " stale baseline entr"
+            << (result.stale_baseline.size() == 1 ? "y" : "ies") << '\n';
+  return result.clean() ? 0 : 1;
+}
+
+}  // namespace mbrc::analysis

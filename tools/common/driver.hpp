@@ -1,0 +1,43 @@
+// Shared CLI driver for the static-analysis tools. Each tool is the same
+// thin filesystem wrapper around its rule engine:
+//
+//   <tool> [--baseline FILE] [--write-baseline FILE] [--rules R1,R2]
+//          [--verbose] PATH...
+//
+// Directories recurse into .hpp/.cpp/.h/.cc; paths are emitted relative to
+// the deepest src/tools/tests/bench component so baseline entries are
+// machine-independent. Diagnostics print as `file:line:col: RULE: message`
+// followed by the finding's flow chain (one indented line per step).
+//
+// Exit status: 0 when clean; 1 on new unsuppressed findings, suppressions
+// without a reason, or stale baseline entries; 2 on usage/IO errors.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "source_model.hpp"
+
+namespace mbrc::analysis {
+
+struct ToolSpec {
+  /// Tool name for messages and the baseline header ("mbrc-lint").
+  std::string name;
+  /// Example rule list for --help ("R1,R2,...").
+  std::string rules_example;
+  /// Runs the tool's rule engine over the collected files.
+  std::function<Report(const std::vector<SourceFile>& files,
+                       const std::vector<std::string>& rules,
+                       const std::vector<BaselineEntry>& baseline)>
+      run;
+};
+
+/// Formats a diagnostic location. Column 0 (rule had no token) prints as
+/// `file:line:`; otherwise `file:line:col:`.
+std::string format_location(const std::string& path, int line, int col);
+
+/// Parses argv, collects sources, runs the engine, prints the report.
+int run_tool(const ToolSpec& spec, int argc, char** argv);
+
+}  // namespace mbrc::analysis

@@ -1,0 +1,310 @@
+#include "source_model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace mbrc::analysis {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators the rules care about. "<<" is safe to fuse
+// (two adjacent '<' never open templates) but ">>" is NOT fused: it usually
+// closes nested template argument lists.
+const char* kPunct3[] = {"<=>", "->*", "..."};
+const char* kPunct2[] = {"::", "->", "<<", "<=", ">=", "==", "!=", "+=",
+                         "-=", "*=", "/=", "%=", "&&", "||", "&=", "|=",
+                         "^=", "++", "--"};
+
+}  // namespace
+
+FileScan tokenize(const SourceFile& file) {
+  FileScan scan;
+  scan.file = &file;
+  {
+    std::istringstream is(file.content);
+    std::string line;
+    while (std::getline(is, line)) scan.lines.push_back(line);
+  }
+
+  const std::string& s = file.content;
+  std::size_t i = 0;
+  int line = 1;
+  // Byte offset of the start of the current line; token col = i - line_start.
+  std::size_t line_start = 0;
+  const auto newline = [&](std::size_t at) {
+    ++line;
+    line_start = at + 1;
+  };
+  const auto append_comment = [&](int at, const std::string& text) {
+    std::string& slot = scan.comments[at];
+    if (!slot.empty()) slot += ' ';
+    slot += text;
+  };
+  const auto push = [&](TokKind kind, std::string text) {
+    scan.tokens.push_back({kind, std::move(text), line,
+                           static_cast<int>(i - line_start) + 1});
+  };
+
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '\n') {
+      newline(i);
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line (honoring continuations).
+    if (c == '#' &&
+        (scan.tokens.empty() || scan.tokens.back().line != line)) {
+      while (i < s.size() && s[i] != '\n') {
+        if (s[i] == '\\' && i + 1 < s.size() && s[i + 1] == '\n') {
+          newline(i + 1);
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      const std::size_t end = s.find('\n', i);
+      const std::size_t stop = end == std::string::npos ? s.size() : end;
+      append_comment(line, s.substr(i + 2, stop - i - 2));
+      i = stop;
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < s.size() && !(s[j] == '*' && s[j + 1] == '/')) {
+        if (s[j] == '\n') newline(j);
+        ++j;
+      }
+      append_comment(start_line, s.substr(i + 2, j - i - 2));
+      i = j + 2 > s.size() ? s.size() : j + 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < s.size() && s[j] != quote) {
+        if (s[j] == '\\') ++j;
+        if (j < s.size() && s[j] == '\n') newline(j);
+        ++j;
+      }
+      push(TokKind::kString, s.substr(i, j + 1 - i));
+      i = j + 1;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < s.size() && ident_char(s[j])) ++j;
+      push(TokKind::kIdent, s.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < s.size() &&
+             (ident_char(s[j]) || s[j] == '.' || s[j] == '\'')) {
+        ++j;
+      }
+      push(TokKind::kNumber, s.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Punctuation, longest match first.
+    std::string text(1, c);
+    for (const char* p : kPunct3)
+      if (s.compare(i, 3, p) == 0) text = p;
+    if (text.size() == 1)
+      for (const char* p : kPunct2)
+        if (s.compare(i, 2, p) == 0) text = p;
+    push(TokKind::kPunct, std::move(text));
+    i += scan.tokens.back().text.size();
+    continue;
+  }
+  return scan;
+}
+
+std::size_t match(const std::vector<Token>& t, std::size_t open,
+                  const char* o, const char* c) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == o) ++depth;
+    if (t[i].text == c && --depth == 0) return i + 1;
+  }
+  return t.size();
+}
+
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == "<") ++depth;
+    else if (t[i].text == ">" && --depth == 0) return i + 1;
+    else if (t[i].text == "(") i = match(t, i, "(", ")") - 1;
+  }
+  return t.size();
+}
+
+std::string normalize_line(const std::string& text) {
+  std::string out;
+  bool space = true;  // swallow leading whitespace
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!space && !out.empty()) out += ' ';
+      space = true;
+    } else {
+      out += c;
+      space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::uint64_t baseline_key(const std::string& rule, const std::string& path,
+                           const std::string& line_text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;
+    h *= 0x100000001b3ULL;
+  };
+  mix(rule);
+  mix(path);
+  mix(normalize_line(line_text));
+  return h;
+}
+
+std::vector<BaselineEntry> parse_baseline(const std::string& text) {
+  std::vector<BaselineEntry> entries;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    BaselineEntry e;
+    std::string key_hex;
+    if (!(ls >> e.rule >> e.path >> key_hex)) continue;
+    e.key = std::stoull(key_hex, nullptr, 16);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::string format_baseline(const std::vector<Finding>& findings,
+                            const std::string& tool) {
+  std::ostringstream os;
+  os << "# " << tool << " baseline: grandfathered findings.\n"
+     << "# rule path key(rule,path,normalized-line). Entries go stale when\n"
+     << "# the flagged line changes; remove them, never add new ones.\n";
+  for (const Finding& f : findings) {
+    os << f.rule << ' ' << f.path << ' ' << std::hex << f.key << std::dec
+       << "  # line " << f.line << '\n';
+  }
+  return os.str();
+}
+
+int find_suppression(const std::map<int, std::string>& comments,
+                     const std::string& tag, const std::string& rule,
+                     int line, std::string* reason) {
+  for (int probe : {line, line - 1}) {
+    const auto it = comments.find(probe);
+    if (it == comments.end()) continue;
+    const std::string& c = it->second;
+    std::size_t pos = c.find(tag + ":");
+    if (pos == std::string::npos) continue;
+    pos = c.find("allow", pos);
+    if (pos == std::string::npos) continue;
+    pos = c.find('(', pos);
+    if (pos == std::string::npos) continue;
+    const std::size_t close = c.find(')', pos);
+    if (close == std::string::npos) continue;
+    std::string inside = c.substr(pos + 1, close - pos - 1);
+    const std::size_t comma = inside.find(',');
+    std::string named = inside.substr(0, comma);
+    named.erase(std::remove_if(named.begin(), named.end(), ::isspace),
+                named.end());
+    if (named != rule) continue;
+    std::string r =
+        comma == std::string::npos ? "" : inside.substr(comma + 1);
+    while (!r.empty() && std::isspace(static_cast<unsigned char>(r.front())))
+      r.erase(r.begin());
+    while (!r.empty() && std::isspace(static_cast<unsigned char>(r.back())))
+      r.pop_back();
+    *reason = r;
+    return r.empty() ? -1 : 1;
+  }
+  return 0;
+}
+
+void finish_finding(Finding& f, const FileScan& scan, const std::string& tag,
+                    std::vector<Finding>& bad_suppressions) {
+  std::string line_text;
+  if (f.line >= 1 && f.line <= static_cast<int>(scan.lines.size()))
+    line_text = scan.lines[static_cast<std::size_t>(f.line - 1)];
+  f.key = baseline_key(f.rule, f.path, line_text);
+  std::string reason;
+  const int s = find_suppression(scan.comments, tag, f.rule, f.line, &reason);
+  if (s > 0) {
+    f.suppressed = true;
+    f.suppress_reason = std::move(reason);
+  } else if (s < 0) {
+    Finding bad = f;
+    bad.message = "suppression of " + bad.message + " -- allow(" + f.rule +
+                  ") requires a non-empty reason";
+    bad_suppressions.push_back(std::move(bad));
+  }
+}
+
+void apply_baseline(Report& report,
+                    const std::vector<BaselineEntry>& baseline) {
+  std::multimap<std::uint64_t, std::size_t> by_key;
+  for (std::size_t i = 0; i < baseline.size(); ++i)
+    by_key.emplace(baseline[i].key, i);
+  std::vector<bool> used(baseline.size(), false);
+  for (Finding& f : report.findings) {
+    if (f.suppressed) continue;
+    const auto [lo, hi] = by_key.equal_range(f.key);
+    for (auto it = lo; it != hi; ++it) {
+      const BaselineEntry& e = baseline[it->second];
+      if (!used[it->second] && e.rule == f.rule && e.path == f.path) {
+        used[it->second] = true;
+        f.baselined = true;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < baseline.size(); ++i)
+    if (!used[i]) report.stale_baseline.push_back(baseline[i]);
+}
+
+std::vector<const Finding*> Report::active() const {
+  std::vector<const Finding*> out;
+  for (const Finding& f : findings)
+    if (!f.suppressed && !f.baselined) out.push_back(&f);
+  return out;
+}
+
+bool Report::clean() const {
+  return active().empty() && bad_suppressions.empty() &&
+         stale_baseline.empty();
+}
+
+}  // namespace mbrc::analysis

@@ -1,189 +1,21 @@
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <map>
 #include <set>
-#include <sstream>
 
 namespace mbrc::lint {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Tokenizer. Comments are stripped into a per-line side table (suppression
-// comments live there); preprocessor directives are skipped wholesale so
-// `#include <unordered_map>` never reaches the rules.
-// ---------------------------------------------------------------------------
-
-enum class TokKind { kIdent, kNumber, kString, kPunct };
-
-struct Token {
-  TokKind kind;
-  std::string text;
-  int line;  // 1-based
-};
-
-struct FileScan {
-  const SourceFile* file = nullptr;
-  std::vector<Token> tokens;
-  std::map<int, std::string> comments;  // line -> comment text
-  std::vector<std::string> lines;       // raw text, for baseline keys
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// Multi-character punctuators the rules care about. "<<" is safe to fuse
-// (two adjacent '<' never open templates) but ">>" is NOT fused: it usually
-// closes nested template argument lists.
-const char* kPunct3[] = {"<=>", "->*", "..."};
-const char* kPunct2[] = {"::", "->", "<<", "<=", ">=", "==", "!=", "+=",
-                         "-=", "*=", "/=", "%=", "&&", "||", "&=", "|=",
-                         "^=", "++", "--"};
-
-FileScan tokenize(const SourceFile& file) {
-  FileScan scan;
-  scan.file = &file;
-  {
-    std::istringstream is(file.content);
-    std::string line;
-    while (std::getline(is, line)) scan.lines.push_back(line);
-  }
-
-  const std::string& s = file.content;
-  std::size_t i = 0;
-  int line = 1;
-  const auto append_comment = [&](int at, const std::string& text) {
-    std::string& slot = scan.comments[at];
-    if (!slot.empty()) slot += ' ';
-    slot += text;
-  };
-
-  while (i < s.size()) {
-    const char c = s[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: skip to end of line (honoring continuations).
-    if (c == '#' &&
-        (scan.tokens.empty() || scan.tokens.back().line != line)) {
-      while (i < s.size() && s[i] != '\n') {
-        if (s[i] == '\\' && i + 1 < s.size() && s[i + 1] == '\n') {
-          ++line;
-          i += 2;
-          continue;
-        }
-        ++i;
-      }
-      continue;
-    }
-    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
-      const std::size_t end = s.find('\n', i);
-      const std::size_t stop = end == std::string::npos ? s.size() : end;
-      append_comment(line, s.substr(i + 2, stop - i - 2));
-      i = stop;
-      continue;
-    }
-    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
-      const int start_line = line;
-      std::size_t j = i + 2;
-      while (j + 1 < s.size() && !(s[j] == '*' && s[j + 1] == '/')) {
-        if (s[j] == '\n') ++line;
-        ++j;
-      }
-      append_comment(start_line, s.substr(i + 2, j - i - 2));
-      i = j + 2 > s.size() ? s.size() : j + 2;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      std::size_t j = i + 1;
-      while (j < s.size() && s[j] != quote) {
-        if (s[j] == '\\') ++j;
-        if (s[j] == '\n') ++line;
-        ++j;
-      }
-      scan.tokens.push_back(
-          {TokKind::kString, s.substr(i, j + 1 - i), line});
-      i = j + 1;
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t j = i + 1;
-      while (j < s.size() && ident_char(s[j])) ++j;
-      scan.tokens.push_back({TokKind::kIdent, s.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t j = i + 1;
-      while (j < s.size() &&
-             (ident_char(s[j]) || s[j] == '.' || s[j] == '\'')) {
-        ++j;
-      }
-      scan.tokens.push_back({TokKind::kNumber, s.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    // Punctuation, longest match first.
-    std::string text(1, c);
-    for (const char* p : kPunct3)
-      if (s.compare(i, 3, p) == 0) text = p;
-    if (text.size() == 1)
-      for (const char* p : kPunct2)
-        if (s.compare(i, 2, p) == 0) text = p;
-    scan.tokens.push_back({TokKind::kPunct, std::move(text), line});
-    i += scan.tokens.back().text.size();
-    continue;
-  }
-  return scan;
-}
-
-// ---------------------------------------------------------------------------
-// Token-stream helpers.
-// ---------------------------------------------------------------------------
-
-bool is(const std::vector<Token>& t, std::size_t i, const char* text) {
-  return i < t.size() && t[i].text == text;
-}
-bool is_ident(const std::vector<Token>& t, std::size_t i) {
-  return i < t.size() && t[i].kind == TokKind::kIdent;
-}
-
-/// Index just past the matching closer for the opener at `open`.
-/// Returns t.size() when unbalanced.
-std::size_t match(const std::vector<Token>& t, std::size_t open,
-                  const char* o, const char* c) {
-  int depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (t[i].text == o) ++depth;
-    if (t[i].text == c && --depth == 0) return i + 1;
-  }
-  return t.size();
-}
-
-/// Skips a balanced template argument list starting at a '<' token.
-/// Unfused ">" tokens close one level each. Returns index past the final '>'.
-std::size_t skip_angles(const std::vector<Token>& t, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (t[i].text == "<") ++depth;
-    else if (t[i].text == ">" && --depth == 0) return i + 1;
-    else if (t[i].text == "(") i = match(t, i, "(", ")") - 1;
-  }
-  return t.size();
-}
+using analysis::FileScan;
+using analysis::TokKind;
+using analysis::Token;
+using analysis::is;
+using analysis::is_ident;
+using analysis::match;
+using analysis::skip_angles;
+using analysis::tokenize;
 
 bool fp_member_ref(const std::vector<Token>& t, std::size_t i,
                    const std::set<std::string>& fp_names) {
@@ -346,64 +178,15 @@ struct Engine {
                options.rules.end();
   }
 
-  std::string line_text(int line) const {
-    if (line < 1 || line > static_cast<int>(scan->lines.size())) return {};
-    return scan->lines[static_cast<std::size_t>(line - 1)];
-  }
-
-  /// Looks for `mbrc-lint: allow(RULE, reason)` on `line` or the line above.
-  /// Returns 1 when found with a reason, -1 when found with an empty reason
-  /// (reported as a bad suppression), 0 when absent.
-  int suppression(const char* rule, int line, std::string* reason) const {
-    for (int probe : {line, line - 1}) {
-      const auto it = scan->comments.find(probe);
-      if (it == scan->comments.end()) continue;
-      const std::string& c = it->second;
-      std::size_t pos = c.find("mbrc-lint:");
-      if (pos == std::string::npos) continue;
-      pos = c.find("allow", pos);
-      if (pos == std::string::npos) continue;
-      pos = c.find('(', pos);
-      if (pos == std::string::npos) continue;
-      const std::size_t close = c.find(')', pos);
-      if (close == std::string::npos) continue;
-      std::string inside = c.substr(pos + 1, close - pos - 1);
-      const std::size_t comma = inside.find(',');
-      std::string named = inside.substr(0, comma);
-      named.erase(std::remove_if(named.begin(), named.end(), ::isspace),
-                  named.end());
-      if (named != rule) continue;
-      std::string r =
-          comma == std::string::npos ? "" : inside.substr(comma + 1);
-      while (!r.empty() && std::isspace(static_cast<unsigned char>(r.front())))
-        r.erase(r.begin());
-      while (!r.empty() && std::isspace(static_cast<unsigned char>(r.back())))
-        r.pop_back();
-      *reason = r;
-      return r.empty() ? -1 : 1;
-    }
-    return 0;
-  }
-
-  void emit(const char* rule, int line, std::string message) {
+  void emit(const char* rule, const Token& at, std::string message) {
     if (!rule_enabled(rule)) return;
     Finding f;
     f.rule = rule;
     f.path = scan->file->path;
-    f.line = line;
+    f.line = at.line;
+    f.col = at.col;
     f.message = std::move(message);
-    f.key = baseline_key(f.rule, f.path, line_text(line));
-    std::string reason;
-    const int s = suppression(rule, line, &reason);
-    if (s > 0) {
-      f.suppressed = true;
-      f.suppress_reason = std::move(reason);
-    } else if (s < 0) {
-      Finding bad = f;
-      bad.message = "suppression of " + bad.message +
-                    " -- allow(" + rule + ") requires a non-empty reason";
-      bad_suppressions.push_back(std::move(bad));
-    }
+    analysis::finish_finding(f, *scan, "mbrc-lint", bad_suppressions);
     findings.push_back(std::move(f));
   }
 
@@ -457,7 +240,7 @@ struct Engine {
         while (body_end < t.size() && t[body_end].text != ";") ++body_end;
       }
       if (!body_emits(body_begin, body_end)) continue;
-      emit("R1", t[i].line,
+      emit("R1", t[i],
            "iteration over unordered container '" + container +
                "' emits into flow results; hash order is "
                "implementation-defined -- iterate a sorted snapshot or an "
@@ -535,7 +318,7 @@ struct Engine {
         if (cmp_fp_operand(k, lambda_fp)) fp_field = t[k].text;
       }
       if (!compares || fp_field.empty() || integral_cmp) continue;
-      emit("R2", t[last_ret].line,
+      emit("R2", t[last_ret],
            "comparator for '" + t[i].text +
                "' breaks final ties on floating-point '" + fp_field +
                "'; the order is not total under FP ties -- add an integral "
@@ -571,7 +354,7 @@ struct Engine {
     for (std::size_t i = 0; i < t.size(); ++i) {
       if (t[i].kind == TokKind::kIdent && !clock_ok &&
           kClockIdents.contains(t[i].text))
-        emit("R3", t[i].line,
+        emit("R3", t[i],
              "reads the wall clock via '" + t[i].text +
                  "' -- wall-clock time is measurement-only and confined to "
                  "src/obs/, runtime/stage_timer and util/stopwatch.hpp "
@@ -581,19 +364,19 @@ struct Engine {
       if (t[i].kind == TokKind::kIdent) {
         if ((t[i].text == "rand" || t[i].text == "srand") &&
             is(t, i + 1, "(") && !is(t, i - 1, ".") && !is(t, i - 1, "->"))
-          emit("R3", t[i].line,
+          emit("R3", t[i],
                "call to '" + t[i].text +
                    "()' -- all randomness must come from util::Rng "
                    "(src/util/rng.hpp) so runs are reproducible");
         if (kRngIdents.contains(t[i].text))
-          emit("R3", t[i].line,
+          emit("R3", t[i],
                "use of 'std::" + t[i].text +
                    "' -- all randomness must come from util::Rng "
                    "(src/util/rng.hpp) so runs are reproducible");
       }
       // Streaming a pointer value: addresses differ run to run under ASLR.
       if (t[i].text == "<<" && is(t, i + 1, "&") && is_ident(t, i + 2))
-        emit("R3", t[i].line,
+        emit("R3", t[i],
              "streams the address of '" + t[i + 2].text +
                  "'; pointer values differ per run -- stream an id or a "
                  "name instead");
@@ -602,7 +385,7 @@ struct Engine {
         const std::size_t end = skip_angles(t, i + 2);
         for (std::size_t k = i + 2; k < end; ++k)
           if (t[k].text == "void")
-            emit("R3", t[i].line,
+            emit("R3", t[i],
                  "streams a pointer cast to void*; addresses differ per "
                  "run -- stream an id or a name instead");
       }
@@ -635,12 +418,12 @@ struct Engine {
             has_arith = true;
         }
         if (!cross.empty())
-          emit("R4", t[i].line,
+          emit("R4", t[i],
                "constructs " + t[i].text + " from the .index of " + cross +
                    " -- crossing typed id spaces defeats the Id<Tag> "
                    "protection of netlist/ids.hpp");
         else if (has_index && has_arith)
-          emit("R4", t[i].line,
+          emit("R4", t[i],
                "constructs " + t[i].text +
                    " from raw arithmetic on an id's .index -- derive ids "
                    "from the owning container, not index math");
@@ -656,7 +439,7 @@ struct Engine {
           const auto b = vars.id_vars.find(t[i + 4].text);
           if (a != vars.id_vars.end() && b != vars.id_vars.end() &&
               a->second != b->second)
-            emit("R4", t[i].line,
+            emit("R4", t[i],
                  "compares .index across id spaces: " + t[i].text + " (" +
                      a->second + ") vs " + t[i + 4].text + " (" + b->second +
                      ") -- distinct Id<Tag> types are never comparable");
@@ -686,7 +469,7 @@ struct Engine {
         for (std::size_t m = k; m < body_end; ++m) {
           if ((t[m].text == "+=" || t[m].text == "-=") && m > 0 &&
               fp_member_ref(t, m - 1, global.fp_names))
-            emit("R5", t[m].line,
+            emit("R5", t[m],
                  "accumulates into floating-point '" + t[m - 1].text +
                      "' inside a " + t[i].text +
                      " lambda; FP addition is not associative, so the "
@@ -697,7 +480,7 @@ struct Engine {
               is_ident(t, m + 1) && t[m - 1].text == t[m + 1].text &&
               (is(t, m + 2, "+") || is(t, m + 2, "-")) &&
               global.fp_names.contains(t[m - 1].text))
-            emit("R5", t[m].line,
+            emit("R5", t[m],
                  "accumulates into floating-point '" + t[m - 1].text +
                      "' inside a " + t[i].text +
                      " lambda; FP addition is not associative, so the "
@@ -765,7 +548,7 @@ struct Engine {
           is(t, i + 3, "seconds"))
         culprit = t[i + 1].text;
       if (culprit.empty()) continue;
-      emit("R6", t[i].line,
+      emit("R6", t[i],
            "compares a wall-clock value from '" + culprit +
                "'; timing is measurement-only and must never feed flow "
                "results (DESIGN.md section 11) -- branch on deterministic "
@@ -785,81 +568,7 @@ struct Engine {
   }
 };
 
-std::string normalize_line(const std::string& text) {
-  std::string out;
-  bool space = true;  // swallow leading whitespace
-  for (char c : text) {
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      if (!space && !out.empty()) out += ' ';
-      space = true;
-    } else {
-      out += c;
-      space = false;
-    }
-  }
-  while (!out.empty() && out.back() == ' ') out.pop_back();
-  return out;
-}
-
 }  // namespace
-
-std::uint64_t baseline_key(const std::string& rule, const std::string& path,
-                           const std::string& line_text) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto mix = [&](const std::string& s) {
-    for (char c : s) {
-      h ^= static_cast<unsigned char>(c);
-      h *= 0x100000001b3ULL;
-    }
-    h ^= 0xff;
-    h *= 0x100000001b3ULL;
-  };
-  mix(rule);
-  mix(path);
-  mix(normalize_line(line_text));
-  return h;
-}
-
-std::vector<BaselineEntry> parse_baseline(const std::string& text) {
-  std::vector<BaselineEntry> entries;
-  std::istringstream is(text);
-  std::string line;
-  while (std::getline(is, line)) {
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    std::istringstream ls(line);
-    BaselineEntry e;
-    std::string key_hex;
-    if (!(ls >> e.rule >> e.path >> key_hex)) continue;
-    e.key = std::stoull(key_hex, nullptr, 16);
-    entries.push_back(std::move(e));
-  }
-  return entries;
-}
-
-std::string format_baseline(const std::vector<Finding>& findings) {
-  std::ostringstream os;
-  os << "# mbrc-lint baseline: grandfathered findings.\n"
-     << "# rule path key(rule,path,normalized-line). Entries go stale when\n"
-     << "# the flagged line changes; remove them, never add new ones.\n";
-  for (const Finding& f : findings) {
-    os << f.rule << ' ' << f.path << ' ' << std::hex << f.key << std::dec
-       << "  # line " << f.line << '\n';
-  }
-  return os.str();
-}
-
-std::vector<const Finding*> LintResult::active() const {
-  std::vector<const Finding*> out;
-  for (const Finding& f : findings)
-    if (!f.suppressed && !f.baselined) out.push_back(&f);
-  return out;
-}
-
-bool LintResult::clean() const {
-  return active().empty() && bad_suppressions.empty() &&
-         stale_baseline.empty();
-}
 
 LintResult run_lint(const std::vector<SourceFile>& files,
                     const LintOptions& options,
@@ -878,25 +587,7 @@ LintResult run_lint(const std::vector<SourceFile>& files,
                 nullptr, {}};
   for (const FileScan& scan : scans) engine.run(scan);
 
-  // Baseline matching: each entry absorbs one finding; leftovers are stale.
-  std::multimap<std::uint64_t, std::size_t> by_key;
-  for (std::size_t i = 0; i < baseline.size(); ++i)
-    by_key.emplace(baseline[i].key, i);
-  std::vector<bool> used(baseline.size(), false);
-  for (Finding& f : result.findings) {
-    if (f.suppressed) continue;
-    const auto [lo, hi] = by_key.equal_range(f.key);
-    for (auto it = lo; it != hi; ++it) {
-      const BaselineEntry& e = baseline[it->second];
-      if (!used[it->second] && e.rule == f.rule && e.path == f.path) {
-        used[it->second] = true;
-        f.baselined = true;
-        break;
-      }
-    }
-  }
-  for (std::size_t i = 0; i < baseline.size(); ++i)
-    if (!used[i]) result.stale_baseline.push_back(baseline[i]);
+  analysis::apply_baseline(result, baseline);
   return result;
 }
 

@@ -45,35 +45,27 @@
 // Grandfathered findings live in a checked-in baseline keyed on
 // (rule, file, normalized line text) so unrelated edits do not invalidate
 // entries; stale entries are reported so the baseline only ever shrinks.
+//
+// The tokenizer, suppression grammar, `file:line:col` findings and baseline
+// machinery are shared with tools/mbrc-analyze via tools/common/.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "source_model.hpp"
+
 namespace mbrc::lint {
 
-struct SourceFile {
-  std::string path;
-  std::string content;
-};
+using analysis::BaselineEntry;
+using analysis::Finding;
+using analysis::SourceFile;
+using analysis::baseline_key;
+using analysis::format_baseline;
+using analysis::parse_baseline;
 
-struct Finding {
-  std::string rule;       // "R1".."R6"
-  std::string path;
-  int line = 0;           // 1-based
-  std::string message;
-  std::uint64_t key = 0;  // baseline key: hash(rule, path, normalized line)
-  bool suppressed = false;
-  std::string suppress_reason;
-  bool baselined = false;
-};
-
-struct BaselineEntry {
-  std::string rule;
-  std::string path;
-  std::uint64_t key = 0;
-};
+using LintResult = analysis::Report;
 
 struct LintOptions {
   /// Rules to run; empty means all.
@@ -86,36 +78,6 @@ struct LintOptions {
   std::vector<std::string> clock_exempt_paths = {
       "src/obs/", "runtime/stage_timer", "util/stopwatch.hpp"};
 };
-
-struct LintResult {
-  /// Every finding, including suppressed and baselined ones.
-  std::vector<Finding> findings;
-  /// Baseline entries that matched no finding (stale: the grandfathered
-  /// hazard was fixed or the line rewritten -- remove the entry).
-  std::vector<BaselineEntry> stale_baseline;
-  /// Suppression comments with an empty reason (treated as findings).
-  std::vector<Finding> bad_suppressions;
-
-  /// Findings that are neither suppressed nor baselined.
-  std::vector<const Finding*> active() const;
-  /// Nonzero-exit condition: active findings, bad suppressions or a stale
-  /// baseline.
-  bool clean() const;
-};
-
-/// Baseline key of a finding: FNV-1a over rule, path and the finding line's
-/// whitespace-normalized text, so entries survive edits elsewhere in the
-/// file but go stale when the flagged line itself changes.
-std::uint64_t baseline_key(const std::string& rule, const std::string& path,
-                           const std::string& line_text);
-
-/// Parses the baseline format: one `rule<space>path<space>hex-key` per line;
-/// blank lines and `#` comments ignored.
-std::vector<BaselineEntry> parse_baseline(const std::string& text);
-
-/// Serializes findings (active + suppressed are excluded; pass the findings
-/// you want grandfathered) into the baseline format.
-std::string format_baseline(const std::vector<Finding>& findings);
 
 /// Runs all enabled rules over the file set. Alias and field-type tables
 /// (e.g. `using SkewMap = std::unordered_map<...>`, `double x;`) are built

@@ -1,185 +1,18 @@
-// mbrc-lint CLI. Scans the given files/directories (recursing into .hpp,
-// .cpp, .h, .cc) and prints `file:line: RULE: message` diagnostics.
-//
-//   mbrc-lint [--baseline FILE] [--write-baseline FILE] [--rules R1,R2]
-//             [--verbose] PATH...
-//
-// Exit status: 0 when clean; 1 on new unsuppressed findings, suppressions
-// without a reason, or stale baseline entries; 2 on usage/IO errors.
-#include <algorithm>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
-#include <sstream>
-#include <string>
-#include <vector>
-
+// mbrc-lint CLI: the shared static-analysis driver (tools/common/driver.hpp)
+// around the determinism rule engine. Prints `file:line:col: RULE: message`.
+#include "driver.hpp"
 #include "lint.hpp"
 
-namespace fs = std::filesystem;
-
-namespace {
-
-bool lintable(const fs::path& path) {
-  const std::string ext = path.extension().string();
-  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
-}
-
-bool read_file(const std::string& path, std::string* out) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return false;
-  std::ostringstream ss;
-  ss << is.rdbuf();
-  *out = ss.str();
-  return true;
-}
-
-/// Paths are emitted relative to the deepest of src/tools/tests on the way,
-/// keeping baseline entries machine-independent.
-std::string display_path(const fs::path& path) {
-  const fs::path norm = path.lexically_normal();
-  std::vector<std::string> parts;
-  for (const auto& part : norm) parts.push_back(part.string());
-  for (std::size_t i = parts.size(); i-- > 0;) {
-    if (parts[i] == "src" || parts[i] == "tools" || parts[i] == "tests") {
-      fs::path rel;
-      for (std::size_t j = i; j < parts.size(); ++j) rel /= parts[j];
-      return rel.generic_string();
-    }
-  }
-  return norm.generic_string();
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  std::string baseline_path;
-  std::string write_baseline_path;
-  bool verbose = false;
-  mbrc::lint::LintOptions options;
-  std::vector<std::string> inputs;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "mbrc-lint: " << arg << " requires an argument\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--baseline") {
-      baseline_path = next();
-    } else if (arg == "--write-baseline") {
-      write_baseline_path = next();
-    } else if (arg == "--rules") {
-      std::istringstream ss(next());
-      std::string rule;
-      while (std::getline(ss, rule, ',')) options.rules.push_back(rule);
-    } else if (arg == "--verbose") {
-      verbose = true;
-    } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: mbrc-lint [--baseline FILE] [--write-baseline "
-                   "FILE] [--rules R1,R2,...] [--verbose] PATH...\n";
-      return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "mbrc-lint: unknown option " << arg << '\n';
-      return 2;
-    } else {
-      inputs.push_back(arg);
-    }
-  }
-  if (inputs.empty()) {
-    std::cerr << "mbrc-lint: no input paths (try --help)\n";
-    return 2;
-  }
-
-  std::vector<mbrc::lint::SourceFile> files;
-  for (const std::string& input : inputs) {
-    std::error_code ec;
-    if (fs::is_directory(input, ec)) {
-      std::vector<fs::path> found;
-      for (const auto& entry : fs::recursive_directory_iterator(input))
-        if (entry.is_regular_file() && lintable(entry.path()))
-          found.push_back(entry.path());
-      std::sort(found.begin(), found.end());
-      for (const fs::path& path : found) {
-        mbrc::lint::SourceFile file;
-        file.path = display_path(path);
-        if (!read_file(path.string(), &file.content)) {
-          std::cerr << "mbrc-lint: cannot read " << path << '\n';
-          return 2;
-        }
-        files.push_back(std::move(file));
-      }
-    } else {
-      mbrc::lint::SourceFile file;
-      file.path = display_path(input);
-      if (!read_file(input, &file.content)) {
-        std::cerr << "mbrc-lint: cannot read " << input << '\n';
-        return 2;
-      }
-      files.push_back(std::move(file));
-    }
-  }
-
-  std::vector<mbrc::lint::BaselineEntry> baseline;
-  if (!baseline_path.empty()) {
-    std::string text;
-    if (!read_file(baseline_path, &text)) {
-      std::cerr << "mbrc-lint: cannot read baseline " << baseline_path
-                << '\n';
-      return 2;
-    }
-    baseline = mbrc::lint::parse_baseline(text);
-  }
-
-  const mbrc::lint::LintResult result =
-      mbrc::lint::run_lint(files, options, baseline);
-
-  if (!write_baseline_path.empty()) {
-    std::vector<mbrc::lint::Finding> grandfather;
-    for (const mbrc::lint::Finding& f : result.findings)
-      if (!f.suppressed) grandfather.push_back(f);
-    std::ofstream os(write_baseline_path);
-    os << mbrc::lint::format_baseline(grandfather);
-    std::cout << "mbrc-lint: wrote " << grandfather.size()
-              << " baseline entries to " << write_baseline_path << '\n';
-    return 0;
-  }
-
-  int suppressed = 0, baselined = 0;
-  for (const mbrc::lint::Finding& f : result.findings) {
-    if (f.suppressed) {
-      ++suppressed;
-      if (verbose)
-        std::cout << f.path << ':' << f.line << ": " << f.rule
-                  << ": suppressed (" << f.suppress_reason << ")\n";
-      continue;
-    }
-    if (f.baselined) {
-      ++baselined;
-      if (verbose)
-        std::cout << f.path << ':' << f.line << ": " << f.rule
-                  << ": baselined\n";
-      continue;
-    }
-    std::cout << f.path << ':' << f.line << ": " << f.rule << ": "
-              << f.message << '\n';
-  }
-  for (const mbrc::lint::Finding& f : result.bad_suppressions)
-    std::cout << f.path << ':' << f.line << ": " << f.rule << ": "
-              << f.message << '\n';
-  for (const mbrc::lint::BaselineEntry& e : result.stale_baseline)
-    std::cout << e.path << ": stale baseline entry (" << e.rule
-              << "): the flagged line changed or was fixed -- remove the "
-                 "entry or run --write-baseline\n";
-
-  const auto active = result.active();
-  std::cout << "mbrc-lint: " << files.size() << " files, " << active.size()
-            << " active finding(s), " << suppressed << " suppressed, "
-            << baselined << " baselined, " << result.stale_baseline.size()
-            << " stale baseline entr"
-            << (result.stale_baseline.size() == 1 ? "y" : "ies") << '\n';
-  return result.clean() ? 0 : 1;
+  mbrc::analysis::ToolSpec spec;
+  spec.name = "mbrc-lint";
+  spec.rules_example = "R1,R2,...";
+  spec.run = [](const std::vector<mbrc::analysis::SourceFile>& files,
+                const std::vector<std::string>& rules,
+                const std::vector<mbrc::analysis::BaselineEntry>& baseline) {
+    mbrc::lint::LintOptions options;
+    options.rules = rules;
+    return mbrc::lint::run_lint(files, options, baseline);
+  };
+  return mbrc::analysis::run_tool(spec, argc, argv);
 }
