@@ -48,7 +48,9 @@
 
 #include "benchgen/generator.hpp"
 #include "geom/rect.hpp"
+#include "obs/counters.hpp"
 #include "obs/json.hpp"
+#include "obs/json_reader.hpp"
 #include "service/daemon.hpp"
 #include "service/socket_server.hpp"
 #include "util/rng.hpp"
@@ -369,15 +371,21 @@ struct ConfigResult {
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+  // Daemon-side pool.queue_depth_peak read via the stats verb at teardown:
+  // how deep the request backlog got behind this configuration's load.
+  std::int64_t queue_depth_max = 0;
   std::vector<double> samples_edits_per_second;  // one per repetition
 };
 
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const std::size_t rank = std::min(
-      sorted.size() - 1,
-      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
-  return sorted[rank];
+/// pool.queue_depth_peak from a stats response; 0 on any parse miss (an
+/// inline-serial daemon reports all-zero pool gauges, so 0 is also the
+/// honest floor).
+std::int64_t parse_queue_depth_peak(const std::string& stats_response) {
+  const obs::JsonParseResult parsed = obs::parse_json(stats_response);
+  if (!parsed.ok) return 0;
+  const obs::JsonValue* pool = parsed.value.find("pool");
+  if (pool == nullptr) return 0;
+  return pool->int_or("queue_depth_peak", 0);
 }
 
 ConfigResult run_config(const lib::Library& library, const Workload& workload,
@@ -434,12 +442,16 @@ ConfigResult run_config(const lib::Library& library, const Workload& workload,
   out.wall_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
 
-  // Teardown (untimed): ask the daemon to shut down so the accept loop and
-  // the per-connection threads exit, then join the server.
+  // Teardown (untimed): grab the daemon's pool gauges over the same wire
+  // the load used, then ask it to shut down so the accept loop and the
+  // per-connection threads exit, and join the server.
   {
     Connection conn;
-    if (conn.connect_to(socket_path))
+    if (conn.connect_to(socket_path)) {
+      out.queue_depth_max =
+          parse_queue_depth_peak(conn.request("{\"id\":0,\"cmd\":\"stats\"}"));
       conn.request("{\"id\":0,\"cmd\":\"shutdown\"}");
+    }
   }
   server_thread.join();
 
@@ -452,9 +464,9 @@ ConfigResult run_config(const lib::Library& library, const Workload& workload,
                      r.query_latency_us.end());
   }
   std::sort(latencies.begin(), latencies.end());
-  out.p50_us = percentile(latencies, 0.50);
-  out.p95_us = percentile(latencies, 0.95);
-  out.p99_us = percentile(latencies, 0.99);
+  out.p50_us = obs::Histogram::percentile(latencies, 0.50);
+  out.p95_us = obs::Histogram::percentile(latencies, 0.95);
+  out.p99_us = obs::Histogram::percentile(latencies, 0.99);
   if (out.wall_seconds > 0.0) {
     out.edits_per_second =
         static_cast<double>(out.edits_applied) / out.wall_seconds;
@@ -515,11 +527,17 @@ int main(int argc, char** argv) {
           run_config(library, workload, settings, configs[c], socket_path);
       samples[c].push_back(result.edits_per_second);
       rows[c].errors += result.errors;  // errors from EVERY repetition count
+      // Deepest backlog seen across ALL repetitions, not just the best one:
+      // the gauge answers "how far behind did this config get", and the
+      // worst window is the interesting answer.
+      const std::int64_t depth =
+          std::max(rows[c].queue_depth_max, result.queue_depth_max);
       if (rep == 0 || result.edits_per_second > rows[c].edits_per_second) {
         const std::int64_t errors = rows[c].errors;
         rows[c] = std::move(result);
         rows[c].errors = errors;
       }
+      rows[c].queue_depth_max = depth;
     }
   }
   for (std::size_t c = 0; c < configs.size(); ++c)
@@ -574,6 +592,7 @@ int main(int argc, char** argv) {
         .kv("p95", r.p95_us)
         .kv("p99", r.p99_us)
         .end_object();
+    w.kv("queue_depth_max", r.queue_depth_max);
     w.key("samples_edits_per_second").begin_array();
     for (double s : r.samples_edits_per_second) w.value(s);
     w.end_array();

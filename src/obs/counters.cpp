@@ -60,6 +60,14 @@ int Histogram::bucket_of(std::int64_t value) {
   return std::bit_width(static_cast<std::uint64_t>(value));
 }
 
+double Histogram::percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
 Counter& counter(std::string_view name) {
   return counter_registry().intern(name);
 }

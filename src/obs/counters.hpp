@@ -25,6 +25,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace mbrc::obs {
 
@@ -54,6 +55,14 @@ public:
   static constexpr int kBuckets = 65;  // bit_width of an int64 plus bucket 0
 
   static int bucket_of(std::int64_t value);
+
+  /// Exact percentile over raw samples: `sorted` must be ascending, `q` in
+  /// [0, 1]. Rank convention: floor(q * size) clamped to the last element —
+  /// the convention bench/service_throughput.cpp has always used, kept here
+  /// so regenerated BENCH artifacts stay comparable across revisions. Used
+  /// by the benches and the service stats verb; raw samples are wall-clock
+  /// latencies and therefore measurement-only data.
+  static double percentile(const std::vector<double>& sorted, double q);
 
   void record(std::int64_t value) {
     count_.fetch_add(1, std::memory_order_relaxed);

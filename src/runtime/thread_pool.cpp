@@ -18,6 +18,15 @@ struct WorkerContext {
 
 thread_local WorkerContext tls_worker;
 
+// Exception-safe increment of the active-task gauge around task().
+struct ActiveScope {
+  explicit ActiveScope(std::atomic<int>& gauge) : gauge_(gauge) {
+    gauge_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ActiveScope() { gauge_.fetch_sub(1, std::memory_order_relaxed); }
+  std::atomic<int>& gauge_;
+};
+
 }  // namespace
 
 namespace detail {
@@ -72,12 +81,18 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
   }
+  int depth;
   {
     // Publishing the pending count under sleep_mutex_ pairs with the wait
     // predicate in worker_loop; without it a notify can slip between a
     // worker's predicate check and its sleep and the task sits unseen.
     std::lock_guard<std::mutex> lock(sleep_mutex_);
-    pending_.fetch_add(1, std::memory_order_release);
+    depth = pending_.fetch_add(1, std::memory_order_release) + 1;
+  }
+  int peak = peak_depth_.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !peak_depth_.compare_exchange_weak(peak, depth,
+                                            std::memory_order_relaxed)) {
   }
   wake_.notify_one();
 }
@@ -110,6 +125,7 @@ bool ThreadPool::run_one() {
   std::function<void()> task;
   const int preferred = tls_worker.pool == this ? tls_worker.index : -1;
   if (!try_pop(preferred, task)) return false;
+  ActiveScope active(active_);
   task();
   return true;
 }
@@ -120,7 +136,10 @@ void ThreadPool::worker_loop(int self) {
   std::function<void()> task;
   for (;;) {
     if (try_pop(self, task)) {
-      task();
+      {
+        ActiveScope active(active_);
+        task();
+      }
       task = nullptr;
       continue;
     }

@@ -16,6 +16,7 @@
 // parallel_for calls cannot deadlock even when every worker is waiting.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -50,6 +51,21 @@ public:
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int worker_count() const { return static_cast<int>(threads_.size()); }
+
+  /// Telemetry gauges for the service stats verb. Relaxed reads of
+  /// instantaneous values: measurement-only, never part of any result.
+  /// Tasks queued but not yet picked up by a thread.
+  int queue_depth() const {
+    return std::max(0, pending_.load(std::memory_order_relaxed));
+  }
+  /// High-water mark of queue_depth() since construction.
+  int queue_depth_peak() const {
+    return peak_depth_.load(std::memory_order_relaxed);
+  }
+  /// Threads currently inside a task (workers plus helpers in run_one).
+  int active_workers() const {
+    return active_.load(std::memory_order_relaxed);
+  }
 
   /// Enqueues a task. Tasks submitted from a worker thread go to that
   /// worker's own deque (LIFO); external submissions round-robin across
@@ -94,6 +110,8 @@ private:
   std::vector<std::thread> threads_;
   std::atomic<std::size_t> next_queue_{0};
   std::atomic<int> pending_{0};
+  std::atomic<int> peak_depth_{0};
+  std::atomic<int> active_{0};
   std::atomic<bool> stop_{false};
   std::mutex sleep_mutex_;
   std::condition_variable wake_;

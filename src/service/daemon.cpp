@@ -1,5 +1,7 @@
 #include "service/daemon.hpp"
 
+#include <chrono>
+#include <fstream>
 #include <future>
 #include <istream>
 #include <limits>
@@ -11,12 +13,26 @@
 #include "benchgen/generator.hpp"
 #include "netlist/io.hpp"
 #include "obs/counters.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 
 namespace mbrc::service {
 
 namespace {
+
+// Request latency is wall clock and therefore measurement-only: it is
+// surfaced by the stats verb (DESIGN.md §11) and no response payload ever
+// depends on it. The alias keeps the daemon's clock-exempt surface to this
+// one declaration.
+// mbrc-lint: allow(R3, request-latency measurement for the stats verb; measurement-only, no response content depends on it)
+using LatencyClock = std::chrono::steady_clock;
+
+double micros_since(LatencyClock::time_point start) {
+  return std::chrono::duration<double, std::micro>(LatencyClock::now() -
+                                                   start)
+      .count();
+}
 
 std::string fail(std::int64_t id, const std::string& message) {
   std::ostringstream os;
@@ -106,7 +122,10 @@ Daemon::Daemon(const lib::Library& library, DaemonOptions options)
     pool_ = std::make_unique<runtime::ThreadPool>(options_.jobs - 1);
 }
 
-Daemon::~Daemon() { drain(); }
+Daemon::~Daemon() {
+  finish_trace();  // a traced run that just hit EOF still keeps its tail
+  drain();
+}
 
 bool Daemon::shutdown_requested() const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -182,37 +201,61 @@ void Daemon::post(const std::shared_ptr<Strand>& strand,
 }
 
 void Daemon::handle(std::string line, std::function<void(std::string)> sink) {
-  obs::Span span("service.request");
   static obs::Counter& c_requests = obs::counter("service.requests");
   static obs::Counter& c_bad = obs::counter("service.requests.bad");
   c_requests.add(1);
+  const LatencyClock::time_point t_received = LatencyClock::now();
 
   const obs::JsonParseResult parsed = obs::parse_json(line);
   if (!parsed.ok) {
     c_bad.add(1);
+    obs::flight::record(obs::flight::EventKind::kProtocolError, "parse error",
+                        -1);
+    dump_flight("protocol error");
     sink(fail(-1, "parse error: " + parsed.error));
     return;
   }
   if (!parsed.value.is_object()) {
     c_bad.add(1);
+    obs::flight::record(obs::flight::EventKind::kProtocolError,
+                        "request not an object", -1);
+    dump_flight("protocol error");
     sink(fail(-1, "request must be a JSON object"));
     return;
   }
   const std::int64_t id = request_id(parsed.value);
   const std::string cmd = parsed.value.string_or("cmd", "");
 
-  // Global commands execute inline on the calling thread.
-  if (cmd == "ping" || cmd == "shutdown") {
-    if (cmd == "shutdown") {
-      std::lock_guard<std::mutex> lock(mutex_);
-      shutdown_ = true;
+  // Global commands execute inline on the calling thread. They never touch
+  // Session state: stats reads only atomic gauges and registry snapshots,
+  // so it can answer while every strand is busy.
+  if (cmd == "ping" || cmd == "shutdown" || cmd == "stats" ||
+      cmd == "trace_start" || cmd == "trace_stop") {
+    obs::flight::record(obs::flight::EventKind::kRequest, cmd, id);
+    std::string response;
+    if (cmd == "stats") {
+      response = do_stats(id);
+    } else if (cmd == "trace_start") {
+      response = do_trace_start(id, parsed.value);
+    } else if (cmd == "trace_stop") {
+      response = do_trace_stop(id);
+    } else {
+      if (cmd == "shutdown") {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+      }
+      std::ostringstream os;
+      obs::JsonWriter w(os, 0);
+      w.begin_object().kv("id", id).kv("ok", true);
+      if (cmd == "shutdown") w.kv("shutdown", true);
+      w.end_object();
+      response = os.str();
     }
-    std::ostringstream os;
-    obs::JsonWriter w(os, 0);
-    w.begin_object().kv("id", id).kv("ok", true);
-    if (cmd == "shutdown") w.kv("shutdown", true);
-    w.end_object();
-    sink(os.str());
+    latency_.record(cmd, micros_since(t_received));
+    sink(std::move(response));
+    // A traced run that ends via shutdown must not drop its tail. Flushed
+    // after the response so the client is not blocked on the drain.
+    if (cmd == "shutdown") finish_trace();
     return;
   }
 
@@ -250,22 +293,58 @@ void Daemon::handle(std::string line, std::function<void(std::string)> sink) {
   // across sessions.
   std::shared_ptr<obs::JsonValue> request =
       std::make_shared<obs::JsonValue>(std::move(parsed.value));
-  post(strand, [this, strand, request, name, sink = std::move(sink)] {
+  post(strand,
+       [this, strand, request, name, t_received, sink = std::move(sink)] {
+    // Strand span "req <id>: <cmd> @<session>" -- the request's timeline
+    // row in Perfetto; the handler and engine spans nest inside it. The
+    // name is built only while a tracer is live; spans are opened ONLY
+    // inside posted strand jobs (tracked by outstanding_), which is what
+    // lets finish_trace() uninstall-then-drain without racing a span.
+    std::string span_name;
+    if (obs::Tracer::active() != nullptr)
+      span_name = "req " + std::to_string(request_id(*request)) + ": " +
+                  request->string_or("cmd", "") + " @" + name;
     std::string response;
-    try {
-      response = execute(*strand, *request);
-    } catch (const std::exception& e) {
-      if (request->string_or("cmd", "") == "open_design") {
-        // A throwing open (e.g. a malformed artifact) vacates the name.
-        std::lock_guard<std::mutex> lock(mutex_);
-        strand->closed = true;
-        sessions_.erase(name);
+    {
+      obs::Span strand_span(span_name);
+      try {
+        response = execute(*strand, *request);
+      } catch (const std::exception& e) {
+        if (request->string_or("cmd", "") == "open_design") {
+          // A throwing open (e.g. a malformed artifact) vacates the name.
+          std::lock_guard<std::mutex> lock(mutex_);
+          strand->closed = true;
+          sessions_.erase(name);
+        }
+        response = fail(request_id(*request),
+                        std::string("request failed: ") + e.what());
       }
-      response = fail(request_id(*request),
-                      std::string("request failed: ") + e.what());
     }
+    update_gauges(*strand);
+    latency_.record(request->string_or("cmd", ""), micros_since(t_received));
     sink(std::move(response));
   });
+}
+
+void Daemon::update_gauges(Strand& strand) {
+  SessionGauges& gauges = strand.gauges;
+  gauges.requests.fetch_add(1, std::memory_order_relaxed);
+  if (strand.session == nullptr) return;
+  const Session& session = *strand.session;
+  gauges.journal_length.store(
+      static_cast<std::int64_t>(session.journal_length()),
+      std::memory_order_relaxed);
+  gauges.snapshots.store(static_cast<std::int64_t>(session.snapshot_count()),
+                         std::memory_order_relaxed);
+  gauges.topology_version.store(
+      static_cast<std::int64_t>(session.design().topology_version()),
+      std::memory_order_relaxed);
+  const sta::TimingEngine::Stats& engine = session.engine_stats();
+  gauges.full_builds.store(static_cast<std::int64_t>(engine.full_builds),
+                           std::memory_order_relaxed);
+  gauges.incremental_updates.store(
+      static_cast<std::int64_t>(engine.incremental_updates),
+      std::memory_order_relaxed);
 }
 
 std::string Daemon::handle_sync(const std::string& line) {
@@ -300,6 +379,184 @@ std::size_t Daemon::serve(std::istream& in, std::ostream& out) {
     line.clear();
   }
   return served;  // drain_guard drains before out/out_mutex go away
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry verbs (inline on the calling thread).
+// ---------------------------------------------------------------------------
+
+std::string Daemon::do_stats(std::int64_t id) {
+  // Order matters for the pinned byte-layout test in service_test.cpp:
+  // id, ok, service, verbs, pool, sessions, counters, histograms, trace.
+  const std::map<std::string, LatencyRecorder::VerbStats> verbs =
+      latency_.snapshot();
+  const obs::CountersSnapshot registry = obs::counters_snapshot();
+
+  std::vector<std::pair<std::string, std::shared_ptr<Strand>>> strands;
+  bool shutdown;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    strands.assign(sessions_.begin(), sessions_.end());
+    shutdown = shutdown_;
+  }
+
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object().kv("id", id).kv("ok", true);
+
+  w.key("service").begin_object();
+  w.kv("jobs", static_cast<std::int64_t>(options_.jobs));
+  w.kv("sessions_open", static_cast<std::int64_t>(strands.size()));
+  w.kv("shutdown", shutdown);
+  w.end_object();
+
+  w.key("verbs").begin_object();
+  for (const auto& [verb, stats] : verbs) {
+    w.key(verb).begin_object();
+    w.kv("count", stats.count);
+    w.kv("p50_us", stats.p50_us).kv("p95_us", stats.p95_us);
+    w.kv("p99_us", stats.p99_us).kv("max_us", stats.max_us);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("pool").begin_object();
+  w.kv("workers",
+       static_cast<std::int64_t>(pool_ != nullptr ? pool_->worker_count()
+                                                  : 0));
+  w.kv("queue_depth",
+       static_cast<std::int64_t>(pool_ != nullptr ? pool_->queue_depth() : 0));
+  w.kv("queue_depth_peak",
+       static_cast<std::int64_t>(pool_ != nullptr ? pool_->queue_depth_peak()
+                                                  : 0));
+  w.kv("active_workers",
+       static_cast<std::int64_t>(pool_ != nullptr ? pool_->active_workers()
+                                                  : 0));
+  w.end_object();
+
+  w.key("sessions").begin_object();
+  for (const auto& [name, strand] : strands) {
+    const SessionGauges& g = strand->gauges;
+    w.key(name).begin_object();
+    w.kv("requests", g.requests.load(std::memory_order_relaxed));
+    w.kv("journal_length", g.journal_length.load(std::memory_order_relaxed));
+    w.kv("snapshots", g.snapshots.load(std::memory_order_relaxed));
+    w.kv("topology_version",
+         g.topology_version.load(std::memory_order_relaxed));
+    w.key("engine").begin_object();
+    w.kv("full_builds", g.full_builds.load(std::memory_order_relaxed));
+    w.kv("incremental_updates",
+         g.incremental_updates.load(std::memory_order_relaxed));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : registry.counters) w.kv(name, value);
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, hist] : registry.histograms) {
+    w.key(name).begin_object();
+    w.kv("count", hist.count).kv("sum", hist.sum);
+    w.key("buckets").begin_object();
+    for (const auto& [bucket, n] : hist.buckets)
+      w.kv(std::to_string(bucket), n);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("trace").begin_object();
+  {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    w.kv("active", tracer_ != nullptr);
+    w.kv("path", trace_path_);
+  }
+  w.end_object();
+
+  w.end_object();
+  return os.str();
+}
+
+std::string Daemon::do_trace_start(std::int64_t id,
+                                   const obs::JsonValue& request) {
+  const std::string path = request.string_or("path", "");
+  if (path.empty()) return fail(id, "trace_start needs a path");
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  if (tracer_ != nullptr)
+    return fail(id, "a trace is already active: " + trace_path_);
+  if (obs::Tracer::active() != nullptr)
+    return fail(id, "another tracer is active in this process");
+  tracer_ = std::make_unique<obs::Tracer>();
+  trace_path_ = path;
+  tracer_->install();
+  obs::flight::record(obs::flight::EventKind::kTraceControl,
+                      "trace_start " + path, id);
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object().kv("id", id).kv("ok", true).kv("tracing", true);
+  w.kv("path", path).end_object();
+  return os.str();
+}
+
+std::string Daemon::do_trace_stop(std::int64_t id) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    path = trace_path_;
+  }
+  if (!finish_trace()) return fail(id, "no trace is active");
+  std::size_t events;
+  {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    events = trace_event_count_;
+  }
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object().kv("id", id).kv("ok", true).kv("tracing", false);
+  w.kv("path", path).kv("events", static_cast<std::int64_t>(events));
+  w.end_object();
+  return os.str();
+}
+
+bool Daemon::finish_trace() {
+  std::unique_ptr<obs::Tracer> tracer;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    if (tracer_ == nullptr) return false;
+    tracer = std::move(tracer_);
+    path = trace_path_;
+    trace_path_.clear();
+  }
+  // Stop collection, then wait out every in-flight strand job: jobs
+  // accepted before the uninstall are tracked in outstanding_, so after
+  // drain() every span they opened is closed; jobs posted after the
+  // uninstall see no active tracer and record nothing. That ordering is
+  // what makes take() (which asserts all spans closed) safe on a live
+  // daemon.
+  tracer->uninstall();
+  drain();
+  const obs::TraceData data = tracer->take();
+  {
+    std::ofstream out(path);
+    if (out) obs::write_chrome_trace(out, data);
+  }
+  {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    trace_event_count_ = data.events.size();
+  }
+  obs::flight::record(obs::flight::EventKind::kTraceControl,
+                      "trace_stop " + path,
+                      static_cast<std::int64_t>(data.events.size()));
+  return true;
+}
+
+void Daemon::dump_flight(const char* trigger) {
+  if (options_.flight_dump_path.empty()) return;
+  obs::flight::dump_to_file(options_.flight_dump_path, trigger);
 }
 
 // ---------------------------------------------------------------------------
@@ -402,6 +659,15 @@ std::string Daemon::do_close(Strand& strand, const obs::JsonValue& request) {
 std::string Daemon::execute(Strand& strand, const obs::JsonValue& request) {
   const std::int64_t id = request_id(request);
   const std::string cmd = request.string_or("cmd", "");
+  const std::string session_name = request.string_or("session", "");
+
+  // Handler span ("service.<cmd>"), nested inside the strand span; the
+  // session/engine spans nest inside this one.
+  std::string span_name;
+  if (obs::Tracer::active() != nullptr) span_name = "service." + cmd;
+  obs::Span handler_span(span_name);
+  obs::flight::record(obs::flight::EventKind::kRequest,
+                      session_name + " " + cmd, id);
 
   if (cmd == "open_design") return do_open(strand, request);
   if (strand.closed) return fail(id, "session is closed");
@@ -421,7 +687,19 @@ std::string Daemon::execute(Strand& strand, const obs::JsonValue& request) {
       if (!error.empty()) return fail(id, error);
       edits.push_back(std::move(edit));
     }
+    for (const Edit& edit : edits) {
+      const char* op = edit.op == Edit::Op::kMove   ? "move"
+                       : edit.op == Edit::Op::kSwap ? "swap"
+                                                    : "skew";
+      obs::flight::record(obs::flight::EventKind::kEdit,
+                          session_name + " " + op, edit.cell.index, id);
+    }
     const EditOutcome outcome = session.apply(edits);
+    if (outcome.check_failed) {
+      obs::flight::record(obs::flight::EventKind::kCheckFailure,
+                          session_name + " post-edit check", id);
+      dump_flight("checker failure");
+    }
     std::ostringstream os;
     obs::JsonWriter w(os, 0);
     w.begin_object().kv("id", id).kv("ok", outcome.ok());
@@ -442,6 +720,11 @@ std::string Daemon::execute(Strand& strand, const obs::JsonValue& request) {
         !parse_ids(request, "registers", query.registers, error))
       return fail(id, error);
     const TimingAnswer answer = session.query(query);
+    if (answer.check_failed) {
+      obs::flight::record(obs::flight::EventKind::kCheckFailure,
+                          session_name + " paranoid cross-check", id);
+      dump_flight("checker failure");
+    }
     if (!answer.ok()) return fail(id, answer.error);
     std::ostringstream os;
     obs::JsonWriter w(os, 0);
@@ -514,6 +797,10 @@ std::string Daemon::execute(Strand& strand, const obs::JsonValue& request) {
 
   if (cmd == "snapshot" || cmd == "rollback") {
     const std::string name = request.string_or("name", "");
+    obs::flight::record(cmd == "snapshot"
+                            ? obs::flight::EventKind::kSnapshot
+                            : obs::flight::EventKind::kRollback,
+                        session_name + " " + name, id);
     const Session::SnapshotOutcome outcome =
         cmd == "snapshot" ? session.snapshot(name) : session.rollback(name);
     if (!outcome.ok()) return fail(id, outcome.error);
@@ -550,7 +837,14 @@ std::string Daemon::execute(Strand& strand, const obs::JsonValue& request) {
   }
 
   if (cmd == "check") {
-    const check::CheckReport report = session.check();
+    const bool placement = request.bool_or("placement", false);
+    const check::CheckReport report = session.check(placement);
+    if (!report.ok()) {
+      obs::flight::record(obs::flight::EventKind::kCheckFailure,
+                          session_name + " check", id,
+                          static_cast<std::int64_t>(report.violations.size()));
+      dump_flight("checker failure");
+    }
     std::ostringstream os;
     obs::JsonWriter w(os, 0);
     w.begin_object().kv("id", id).kv("ok", report.ok());
@@ -560,6 +854,8 @@ std::string Daemon::execute(Strand& strand, const obs::JsonValue& request) {
       w.end_object();
     }
     w.end_array();
+    if (!report.ok() && !options_.flight_dump_path.empty())
+      w.kv("flight_dump", options_.flight_dump_path);
     w.end_object();
     return os.str();
   }

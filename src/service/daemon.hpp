@@ -13,14 +13,28 @@
 //   {"id": 4, "cmd": "recompose_region", "session": "a"}
 //   {"id": 5, "cmd": "snapshot", "session": "a", "name": "base"}
 //   {"id": 6, "cmd": "rollback", "session": "a", "name": "base"}
-//   {"id": 7, "cmd": "check", "session": "a"}
+//   {"id": 7, "cmd": "check", "session": "a", "placement": true}
 //   {"id": 8, "cmd": "list_registers", "session": "a", "limit": 100}
 //   {"id": 9, "cmd": "close", "session": "a"}
-//   {"id": 10, "cmd": "shutdown"}
+//   {"id": 10, "cmd": "stats"}
+//   {"id": 11, "cmd": "trace_start", "path": "/tmp/daemon.trace.json"}
+//   {"id": 12, "cmd": "trace_stop"}
+//   {"id": 13, "cmd": "shutdown"}
 //
 // Responses are compact single-line objects {"id": N, "ok": true, ...} or
 // {"id": N, "ok": false, "error": "..."}. See DESIGN.md §12 for the full
 // grammar.
+//
+// Live telemetry (DESIGN.md §11): `stats` returns a snapshot of the obs
+// counter/histogram registry plus per-verb latency percentiles, thread-pool
+// gauges and per-session gauges. `trace_start`/`trace_stop` bracket a live
+// obs::Span trace written as Chrome trace_event JSON, so a running daemon
+// can be profiled in Perfetto without restarting. Both outputs are
+// measurement-only and excluded from the byte-identity contract; the
+// counter *deltas* inside consecutive stats responses stay bit-identical
+// at any jobs count. Every request/edit/rollback is also recorded in the
+// always-on obs flight recorder, dumped to options().flight_dump_path on a
+// checker failure or protocol error.
 //
 // Concurrency model: every session is a strand. Requests for one session
 // execute strictly in arrival order (FIFO), one at a time; requests for
@@ -33,8 +47,10 @@
 // of *different* sessions' response lines varies.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <iosfwd>
@@ -44,8 +60,10 @@
 #include <string>
 
 #include "obs/json_reader.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "service/session.hpp"
+#include "service/telemetry.hpp"
 
 namespace mbrc::service {
 
@@ -56,6 +74,11 @@ struct DaemonOptions {
   int jobs = 1;
   /// Defaults for sessions opened without explicit per-request overrides.
   SessionOptions session_defaults;
+  /// Flight-recorder dump destination for failure triggers (checker
+  /// failure reported by any session command, malformed request line).
+  /// Empty disables failure dumps; fatal-signal dumps are the transport
+  /// binary's concern (tools/mbrc-serve).
+  std::string flight_dump_path;
 };
 
 class Daemon {
@@ -89,10 +112,31 @@ public:
   /// reading; pending requests still complete).
   bool shutdown_requested() const;
 
+  /// Flushes the live trace, if one is active: uninstalls the tracer,
+  /// drains outstanding requests (so every span on every strand is closed)
+  /// and writes the Chrome trace to the path given at trace_start. Called
+  /// by the trace_stop verb, on shutdown, from transport teardown
+  /// (SocketServer idle timeout) and from the destructor, so a traced run
+  /// that never sent trace_stop still keeps its tail. Returns false when
+  /// no trace was active.
+  bool finish_trace();
+
   std::size_t session_count() const;
   const DaemonOptions& options() const { return options_; }
 
 private:
+  /// Per-session telemetry published from the strand (after each request)
+  /// and read by the inline stats verb. Atomics because stats never joins
+  /// a strand; relaxed order because these are gauges, not results.
+  struct SessionGauges {
+    std::atomic<std::int64_t> requests{0};
+    std::atomic<std::int64_t> journal_length{0};
+    std::atomic<std::int64_t> snapshots{0};
+    std::atomic<std::int64_t> topology_version{0};
+    std::atomic<std::int64_t> full_builds{0};
+    std::atomic<std::int64_t> incremental_updates{0};
+  };
+
   /// One open design and its FIFO request queue. `session` is null until
   /// the open_design job ran (requests queued behind a failed open report
   /// "session is not open").
@@ -101,6 +145,7 @@ private:
     std::deque<std::function<void()>> queue;
     bool running = false;
     bool closed = false;
+    SessionGauges gauges;
   };
 
   void post(const std::shared_ptr<Strand>& strand, std::function<void()> job);
@@ -111,16 +156,32 @@ private:
   std::string execute(Strand& strand, const obs::JsonValue& request);
   std::string do_open(Strand& strand, const obs::JsonValue& request);
   std::string do_close(Strand& strand, const obs::JsonValue& request);
+  void update_gauges(Strand& strand);
+
+  // Telemetry verbs (inline on the calling thread; never touch Session
+  // state, only atomic gauges and the registry snapshot).
+  std::string do_stats(std::int64_t id);
+  std::string do_trace_start(std::int64_t id, const obs::JsonValue& request);
+  std::string do_trace_stop(std::int64_t id);
+  /// Writes the flight recorder to options_.flight_dump_path (no-op when
+  /// the path is empty).
+  void dump_flight(const char* trigger);
 
   const lib::Library& library_;
   DaemonOptions options_;
   std::unique_ptr<runtime::ThreadPool> pool_;  // null when jobs <= 1
+  LatencyRecorder latency_;
 
   mutable std::mutex mutex_;  // guards sessions_, strand queues, counters
   std::map<std::string, std::shared_ptr<Strand>> sessions_;
   std::size_t outstanding_ = 0;
   std::condition_variable idle_;
   bool shutdown_ = false;
+
+  std::mutex trace_mutex_;  // guards the live-trace fields below
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::string trace_path_;
+  std::size_t trace_event_count_ = 0;  // from the most recent finish_trace
 };
 
 /// RAII drain for scopes that hand the daemon request sinks referencing

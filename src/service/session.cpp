@@ -116,8 +116,10 @@ EditOutcome Session::apply(const std::vector<Edit>& edits) {
   if (outcome.ok() && options_.check_level != check::CheckLevel::kOff) {
     check::DesignChecker checker(design_);
     checker.check_structure().check_nets().check_conservation(baseline_);
-    if (!checker.report().ok())
+    if (!checker.report().ok()) {
       outcome.error = "post-edit check failed: " + checker.report().to_string();
+      outcome.check_failed = true;
+    }
   }
   return outcome;
 }
@@ -158,9 +160,11 @@ TimingAnswer Session::query(const TimingQuery& query) {
   if (options_.check_level == check::CheckLevel::kParanoid) {
     check::DesignChecker checker(design_);
     checker.check_timing(engine_, skew_);
-    if (!checker.report().ok())
+    if (!checker.report().ok()) {
       answer.error =
           "paranoid timing cross-check failed: " + checker.report().to_string();
+      answer.check_failed = true;
+    }
   }
   return answer;
 }
@@ -207,13 +211,14 @@ RecomposeAnswer Session::recompose(const std::vector<netlist::CellId>& region,
   return answer;
 }
 
-check::CheckReport Session::check() {
+check::CheckReport Session::check(bool include_placement) {
   obs::Span span("service.session.check");
   check::DesignChecker checker(design_);
-  // Placement legality is intentionally not checked: service edits are raw
+  // Placement legality is checked only on request: service edits are raw
   // placement moves; row legality is the batch legalizer's contract.
   checker.check_structure().check_nets().check_scan_chains().
       check_conservation(baseline_);
+  if (include_placement) checker.check_placement();
   if (options_.check_level == check::CheckLevel::kParanoid)
     checker.check_timing(engine_, skew_);
   return checker.report();

@@ -59,6 +59,9 @@ struct EditOutcome {
   int error_index = -1;        // index of the failing edit
   std::uint64_t topology_version = 0;
   std::size_t journal_length = 0;
+  /// True when `error` came from the post-edit design checker (as opposed
+  /// to a rejected edit): the daemon dumps the flight recorder on these.
+  bool check_failed = false;
 
   bool ok() const { return error.empty(); }
 };
@@ -70,6 +73,9 @@ struct TimingQuery {
 
 struct TimingAnswer {
   std::string error;  // non-empty when the query referenced a bad id
+  /// True when `error` came from the paranoid engine cross-check rather
+  /// than a bad id; triggers a flight-recorder dump in the daemon.
+  bool check_failed = false;
   double wns = 0.0;
   double tns = 0.0;
   int failing_endpoints = 0;
@@ -140,7 +146,10 @@ public:
 
   /// Runs the design checker now (structure, nets, scan, conservation; the
   /// engine cross-check at kParanoid) regardless of options().check_level.
-  check::CheckReport check();
+  /// Placement legality is opt-in via `include_placement` because service
+  /// edits are raw placement moves (row legality is the batch legalizer's
+  /// contract); operators can still request the full audit.
+  check::CheckReport check(bool include_placement = false);
 
   struct SnapshotOutcome {
     std::string error;
@@ -151,6 +160,14 @@ public:
   /// Restores design, skew map and touched-set to the named snapshot. The
   /// snapshot is retained (rolling back repeatedly is allowed).
   SnapshotOutcome rollback(const std::string& name);
+
+  // Telemetry accessors for the daemon's stats verb (read on the strand,
+  // published to the stats snapshot through atomic gauges).
+  std::size_t journal_length() const { return design_.touched_cells().size(); }
+  std::size_t snapshot_count() const { return snapshots_.size(); }
+  const sta::TimingEngine::Stats& engine_stats() const {
+    return engine_.stats();
+  }
 
 private:
   std::string validate(const Edit& edit) const;  // empty when applicable

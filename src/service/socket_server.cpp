@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+
 namespace mbrc::service {
 
 SocketServer::SocketServer(Daemon& daemon, SocketServerOptions options)
@@ -82,12 +84,16 @@ std::size_t SocketServer::run() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     ++served;
+    obs::flight::record(obs::flight::EventKind::kConnection, "accept", fd);
     // mbrc-lint: allow(R3, resets the idle deadline on activity; liveness only)
     idle_since = clock::now();
     connections.emplace_back([this, fd] { serve_connection(fd); });
   }
   for (std::thread& t : connections) t.join();
   daemon_.drain();
+  // Idle-timeout teardown flushes a live trace the same way shutdown does,
+  // so a traced run that ends by the server going idle keeps its tail.
+  daemon_.finish_trace();
   return served;
 }
 

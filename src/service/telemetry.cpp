@@ -1,0 +1,43 @@
+#include "service/telemetry.hpp"
+
+#include <algorithm>
+
+#include "obs/counters.hpp"
+
+namespace mbrc::service {
+
+void LatencyRecorder::record(std::string_view verb, double us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = verbs_.find(verb);
+  if (it == verbs_.end())
+    it = verbs_.emplace(std::string(verb), Verb{}).first;
+  Verb& entry = it->second;
+  ++entry.count;
+  if (entry.samples.size() < kWindow)
+    entry.samples.push_back(us);
+  else
+    entry.samples[entry.next] = us;
+  entry.next = (entry.next + 1) % kWindow;
+}
+
+std::map<std::string, LatencyRecorder::VerbStats> LatencyRecorder::snapshot()
+    const {
+  std::map<std::string, VerbStats> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : verbs_) {
+    VerbStats stats;
+    stats.count = entry.count;
+    if (!entry.samples.empty()) {
+      std::vector<double> sorted = entry.samples;
+      std::sort(sorted.begin(), sorted.end());
+      stats.p50_us = obs::Histogram::percentile(sorted, 0.50);
+      stats.p95_us = obs::Histogram::percentile(sorted, 0.95);
+      stats.p99_us = obs::Histogram::percentile(sorted, 0.99);
+      stats.max_us = sorted.back();
+    }
+    out.emplace(name, stats);
+  }
+  return out;
+}
+
+}  // namespace mbrc::service

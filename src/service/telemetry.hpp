@@ -1,0 +1,50 @@
+// Per-verb request-latency instruments for the daemon's stats verb.
+//
+// Latencies are wall-clock and therefore measurement-only (DESIGN.md §11).
+// The recorder deliberately lives OUTSIDE the obs counter/histogram
+// registry: the registry's deltas are part of the bit-identity contract at
+// any jobs count, and latency samples are scheduling-dependent, so mixing
+// them in would break the contract the service tests pin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mbrc::service {
+
+class LatencyRecorder {
+public:
+  /// Samples retained per verb. Once full, the oldest sample ages out so a
+  /// long-lived daemon's percentiles track recent behavior.
+  static constexpr std::size_t kWindow = 4096;
+
+  void record(std::string_view verb, double us);
+
+  struct VerbStats {
+    std::int64_t count = 0;  // lifetime requests, not just the window
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;  // max within the retained window
+  };
+
+  /// Exact percentiles (obs::Histogram::percentile) over each verb's
+  /// retained window, in verb-name order.
+  std::map<std::string, VerbStats> snapshot() const;
+
+private:
+  struct Verb {
+    std::int64_t count = 0;
+    std::vector<double> samples;  // grows to kWindow, then a ring
+    std::size_t next = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Verb, std::less<>> verbs_;
+};
+
+}  // namespace mbrc::service

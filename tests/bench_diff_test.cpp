@@ -1,0 +1,175 @@
+// Drives the mbrc-bench-diff comparison engine over in-memory documents:
+// direction classification, the regression threshold, name-keyed config
+// pairing, and the schema gates the CLI's exit codes hang off.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "diff.hpp"
+#include "obs/json_reader.hpp"
+
+namespace mbrc::benchdiff {
+namespace {
+
+obs::JsonValue parse(const std::string& text) {
+  const obs::JsonParseResult parsed = obs::parse_json(text);
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+  return parsed.value;
+}
+
+const char* kBaseline = R"({
+  "schema": 1, "bench": "service_throughput", "daemon_jobs": 4,
+  "configs": [
+    {"name": "serial", "edits_per_second": 1000.0,
+     "query_latency_us": {"p50": 40.0, "p95": 80.0, "p99": 100.0},
+     "errors": 0},
+    {"name": "concurrent_4", "edits_per_second": 2000.0,
+     "query_latency_us": {"p50": 60.0, "p95": 90.0, "p99": 120.0},
+     "errors": 0}
+  ],
+  "concurrent_4_vs_serial_speedup": 2.0
+})";
+
+TEST(BenchDiffTest, ClassifiesMetricDirectionByName) {
+  EXPECT_EQ(classify_metric("edits_per_second"), Direction::kHigherBetter);
+  EXPECT_EQ(classify_metric("concurrent_4_vs_serial_speedup"),
+            Direction::kHigherBetter);
+  EXPECT_EQ(classify_metric("p50"), Direction::kLowerBetter);
+  EXPECT_EQ(classify_metric("p95"), Direction::kLowerBetter);
+  EXPECT_EQ(classify_metric("p99"), Direction::kLowerBetter);
+  EXPECT_EQ(classify_metric("p50_us"), Direction::kLowerBetter);
+  EXPECT_EQ(classify_metric("wall_seconds"), Direction::kLowerBetter);
+  EXPECT_EQ(classify_metric("errors"), Direction::kLowerBetter);
+  EXPECT_EQ(classify_metric("daemon_jobs"), Direction::kInfo);
+  EXPECT_EQ(classify_metric("queue_depth_max"), Direction::kInfo);
+  EXPECT_EQ(classify_metric("schema"), Direction::kInfo);
+}
+
+TEST(BenchDiffTest, IdenticalDocumentsHaveNoRegressions) {
+  const obs::JsonValue doc = parse(kBaseline);
+  const DiffReport report = diff_benchmarks(doc, doc, {});
+  EXPECT_TRUE(report.schema_ok) << report.error;
+  EXPECT_EQ(report.regression_count(), 0u);
+  EXPECT_FALSE(report.metrics.empty());
+}
+
+TEST(BenchDiffTest, ThroughputDropPastThresholdRegresses) {
+  const obs::JsonValue before = parse(kBaseline);
+  std::string degraded = kBaseline;
+  // concurrent_4 throughput 2000 -> 1600: a planted 20% regression.
+  degraded.replace(degraded.find("2000.0"), 6, "1600.0");
+  const DiffReport report = diff_benchmarks(before, parse(degraded), {});
+  EXPECT_TRUE(report.schema_ok) << report.error;
+  ASSERT_EQ(report.regression_count(), 1u);
+  for (const MetricDelta& m : report.metrics)
+    if (m.regressed) {
+      EXPECT_EQ(m.path, "configs[concurrent_4].edits_per_second");
+      EXPECT_EQ(m.before, 2000.0);
+      EXPECT_EQ(m.after, 1600.0);
+    }
+}
+
+TEST(BenchDiffTest, MovesWithinThresholdPass) {
+  const obs::JsonValue before = parse(kBaseline);
+  std::string wobble = kBaseline;
+  wobble.replace(wobble.find("2000.0"), 6, "1850.0");  // -7.5% < 10%
+  wobble.replace(wobble.find("\"p50\": 60.0"), 11, "\"p50\": 64.0");  // +6.7%
+  const DiffReport report = diff_benchmarks(before, parse(wobble), {});
+  EXPECT_TRUE(report.schema_ok) << report.error;
+  EXPECT_EQ(report.regression_count(), 0u);
+}
+
+TEST(BenchDiffTest, LatencyIncreasePastThresholdRegresses) {
+  const obs::JsonValue before = parse(kBaseline);
+  std::string degraded = kBaseline;
+  degraded.replace(degraded.find("\"p99\": 100.0"), 12, "\"p99\": 140.0");
+  const DiffReport report = diff_benchmarks(before, parse(degraded), {});
+  ASSERT_EQ(report.regression_count(), 1u);
+}
+
+TEST(BenchDiffTest, AnyErrorFromZeroBaselineRegresses) {
+  // No percentage of a zero baseline is tolerable: 0 -> 1 errors gates.
+  const obs::JsonValue before = parse(kBaseline);
+  std::string degraded = kBaseline;
+  degraded.replace(degraded.rfind("\"errors\": 0"), 11, "\"errors\": 1");
+  const DiffReport report = diff_benchmarks(before, parse(degraded), {});
+  ASSERT_EQ(report.regression_count(), 1u);
+}
+
+TEST(BenchDiffTest, ThresholdIsConfigurable) {
+  const obs::JsonValue before = parse(kBaseline);
+  std::string degraded = kBaseline;
+  degraded.replace(degraded.find("2000.0"), 6, "1900.0");  // -5%
+  DiffOptions strict;
+  strict.threshold = 0.02;
+  EXPECT_EQ(diff_benchmarks(before, parse(degraded), strict)
+                .regression_count(),
+            1u);
+  DiffOptions loose;
+  loose.threshold = 0.10;
+  EXPECT_EQ(
+      diff_benchmarks(before, parse(degraded), loose).regression_count(), 0u);
+}
+
+TEST(BenchDiffTest, ConfigsPairByNameAcrossReordering) {
+  const obs::JsonValue before = parse(kBaseline);
+  // Same data with the configs array reversed: nothing regresses, because
+  // elements pair by "name", not index.
+  std::string reordered = R"({
+    "schema": 1, "bench": "service_throughput", "daemon_jobs": 4,
+    "configs": [
+      {"name": "concurrent_4", "edits_per_second": 2000.0,
+       "query_latency_us": {"p50": 60.0, "p95": 90.0, "p99": 120.0},
+       "errors": 0},
+      {"name": "serial", "edits_per_second": 1000.0,
+       "query_latency_us": {"p50": 40.0, "p95": 80.0, "p99": 100.0},
+       "errors": 0}
+    ],
+    "concurrent_4_vs_serial_speedup": 2.0
+  })";
+  const DiffReport report = diff_benchmarks(before, parse(reordered), {});
+  EXPECT_TRUE(report.schema_ok) << report.error;
+  EXPECT_EQ(report.regression_count(), 0u);
+}
+
+TEST(BenchDiffTest, NewFieldsAreFineMissingFieldsAreNot) {
+  const obs::JsonValue before = parse(kBaseline);
+  // Benches grow fields (queue_depth_max did exactly this): a key only in
+  // `after` is not a mismatch.
+  std::string grown = kBaseline;
+  grown.replace(grown.find("\"errors\": 0"), 11,
+                "\"queue_depth_max\": 4, \"errors\": 0");
+  EXPECT_TRUE(diff_benchmarks(before, parse(grown), {}).schema_ok);
+
+  // The reverse -- a metric that vanished -- is incompatible artifacts.
+  const DiffReport shrunk =
+      diff_benchmarks(parse(grown), before, {});
+  EXPECT_FALSE(shrunk.schema_ok);
+  EXPECT_NE(shrunk.error.find("queue_depth_max"), std::string::npos);
+}
+
+TEST(BenchDiffTest, DifferentBenchIdentityIsASchemaMismatch) {
+  const obs::JsonValue before = parse(kBaseline);
+  std::string other = kBaseline;
+  other.replace(other.find("service_throughput"), 18, "parallel_scaling99");
+  const DiffReport report = diff_benchmarks(before, parse(other), {});
+  EXPECT_FALSE(report.schema_ok);
+  EXPECT_NE(report.error.find("bench"), std::string::npos);
+  EXPECT_TRUE(report.metrics.empty());
+}
+
+TEST(BenchDiffTest, FormatReportMarksRegressions) {
+  const obs::JsonValue before = parse(kBaseline);
+  std::string degraded = kBaseline;
+  degraded.replace(degraded.find("2000.0"), 6, "1600.0");
+  DiffOptions options;
+  const DiffReport report = diff_benchmarks(before, parse(degraded), options);
+  const std::string text = format_report(report, options);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("configs[concurrent_4].edits_per_second"),
+            std::string::npos);
+  EXPECT_NE(text.find("1 regression(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbrc::benchdiff

@@ -321,6 +321,39 @@ TEST(LintR3Clock, ServiceClockReadWithReasonedAllowIsSuppressed) {
   EXPECT_TRUE(result.findings[0].suppressed);
 }
 
+TEST(LintR3Clock, FlightRecorderIsExemptViaTheObsPath) {
+  // The flight recorder timestamps events with steady_clock; it lives in
+  // src/obs/, the measurement layer that is clock-exempt wholesale, so no
+  // per-site suppression is needed there.
+  const std::vector<SourceFile> files = {
+      {"src/obs/flight_recorder.cpp",
+       "long now_us() { return std::chrono::steady_clock::now()"
+       ".time_since_epoch().count(); }\n"}};
+  EXPECT_TRUE(run_lint(files, {}, {}).active().empty());
+}
+
+TEST(LintR3Clock, DaemonLatencyClockNeedsItsReasonedAllow) {
+  // The daemon's request-latency clock read (the stats verb's percentile
+  // source) is in src/service/, NOT exempt: without the reasoned allow the
+  // exact code fires, and with it (as daemon.cpp carries) it is clean.
+  const std::vector<SourceFile> bare = {
+      {"src/service/daemon.cpp",
+       "using LatencyClock = std::chrono::steady_clock;\n"}};
+  const auto fired = run_lint(bare, {}, {});
+  ASSERT_EQ(fired.active().size(), 1u);
+  EXPECT_EQ(fired.active()[0]->rule, "R3");
+  EXPECT_EQ(fired.active()[0]->path, "src/service/daemon.cpp");
+
+  const std::vector<SourceFile> reasoned = {
+      {"src/service/daemon.cpp",
+       "// mbrc-lint: allow(R3, request-latency measurement for the stats "
+       "verb; measurement-only, no response content depends on it)\n"
+       "using LatencyClock = std::chrono::steady_clock;\n"}};
+  const auto suppressed = run_lint(reasoned, {}, {});
+  EXPECT_TRUE(suppressed.active().empty());
+  EXPECT_TRUE(suppressed.clean());
+}
+
 TEST(LintR3Clock, ServiceSystemClockIsAlsoFlagged) {
   // system_clock is worse than steady_clock for determinism (it can jump),
   // so the daemon must not read it either.

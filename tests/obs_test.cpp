@@ -103,6 +103,21 @@ TEST(Counters, HistogramBucketsArePowersOfTwo) {
   EXPECT_EQ(h.bucket(3), 2);
 }
 
+TEST(Counters, PercentileUsesFloorRankOverSortedSamples) {
+  EXPECT_EQ(Histogram::percentile({}, 0.5), 0.0);
+  EXPECT_EQ(Histogram::percentile({42.0}, 0.0), 42.0);
+  EXPECT_EQ(Histogram::percentile({42.0}, 0.99), 42.0);
+
+  std::vector<double> sorted;
+  for (int i = 1; i <= 100; ++i) sorted.push_back(static_cast<double>(i));
+  // Rank floor(q * n), clamped to the last sample: the convention the
+  // service bench has always reported, now shared through this helper.
+  EXPECT_EQ(Histogram::percentile(sorted, 0.50), 51.0);
+  EXPECT_EQ(Histogram::percentile(sorted, 0.95), 96.0);
+  EXPECT_EQ(Histogram::percentile(sorted, 0.99), 100.0);
+  EXPECT_EQ(Histogram::percentile(sorted, 1.0), 100.0);
+}
+
 TEST(Counters, DeltaContainsOnlyTouchedEntries) {
   const CountersSnapshot before = counters_snapshot();
   counter("obs_test.delta.c").add(7);

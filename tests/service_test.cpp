@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -21,6 +23,7 @@
 #include "obs/json.hpp"
 #include "obs/json_reader.hpp"
 #include "service/daemon.hpp"
+#include "service/socket_server.hpp"
 #include "sta/timing_engine.hpp"
 #include "util/rng.hpp"
 
@@ -686,6 +689,265 @@ TEST(ServiceTest, RecomposeCostKnobsEchoEffectiveModel) {
   const obs::JsonValue again = parse_ok(
       daemon.handle_sync(simple_request(4, "recompose_region", "s")));
   EXPECT_EQ(again.find("cost")->number_or("beta", -1.0), 0.0);
+}
+
+// --- live telemetry (DESIGN.md §11) ----------------------------------------
+
+std::vector<std::string> member_keys(const obs::JsonValue& object) {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : object.members()) keys.push_back(key);
+  return keys;
+}
+
+// Pins the stats verb's byte layout the way FlowReport's options echo is
+// pinned: top-level key order and every gauge subtree are load-bearing for
+// dashboards, so adding a metric somewhere else must show up as a diff
+// here. The "counters"/"histograms" subtrees are the process-global obs
+// registry -- their key SET depends on what else this process ran, so only
+// their presence is pinned.
+TEST(ServiceTest, StatsVerbPinsKeyLayout) {
+  const lib::Library library = lib::make_default_library();
+  service::Daemon daemon(library, {});
+  parse_ok(daemon.handle_sync(open_request(1, "s")));
+  parse_ok(daemon.handle_sync(
+      query_request(2, "s", {}, {})));
+  parse_ok(daemon.handle_sync(simple_request(3, "snapshot", "s", "base")));
+
+  const obs::JsonValue stats =
+      parse_ok(daemon.handle_sync("{\"id\":4,\"cmd\":\"stats\"}"));
+  EXPECT_EQ(member_keys(stats),
+            (std::vector<std::string>{"id", "ok", "service", "verbs", "pool",
+                                      "sessions", "counters", "histograms",
+                                      "trace"}));
+
+  const obs::JsonValue* service = stats.find("service");
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(member_keys(*service),
+            (std::vector<std::string>{"jobs", "sessions_open", "shutdown"}));
+  EXPECT_EQ(service->int_or("jobs", -1), 1);
+  EXPECT_EQ(service->int_or("sessions_open", -1), 1);
+
+  const obs::JsonValue* verbs = stats.find("verbs");
+  ASSERT_NE(verbs, nullptr);
+  for (const char* verb : {"open_design", "query_timing", "snapshot"}) {
+    const obs::JsonValue* entry = verbs->find(verb);
+    ASSERT_NE(entry, nullptr) << verb;
+    EXPECT_EQ(member_keys(*entry),
+              (std::vector<std::string>{"count", "p50_us", "p95_us", "p99_us",
+                                        "max_us"}))
+        << verb;
+    EXPECT_GE(entry->int_or("count", 0), 1) << verb;
+  }
+
+  const obs::JsonValue* pool = stats.find("pool");
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(member_keys(*pool),
+            (std::vector<std::string>{"workers", "queue_depth",
+                                      "queue_depth_peak", "active_workers"}));
+
+  const obs::JsonValue* sessions = stats.find("sessions");
+  ASSERT_NE(sessions, nullptr);
+  const obs::JsonValue* gauges = sessions->find("s");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(member_keys(*gauges),
+            (std::vector<std::string>{"requests", "journal_length",
+                                      "snapshots", "topology_version",
+                                      "engine"}));
+  EXPECT_EQ(gauges->int_or("requests", -1), 3);
+  EXPECT_EQ(gauges->int_or("snapshots", -1), 1);
+  const obs::JsonValue* engine = gauges->find("engine");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(member_keys(*engine),
+            (std::vector<std::string>{"full_builds", "incremental_updates"}));
+  EXPECT_EQ(engine->int_or("full_builds", -1), 1);
+
+  EXPECT_NE(stats.find("counters"), nullptr);
+  EXPECT_NE(stats.find("histograms"), nullptr);
+  const obs::JsonValue* trace = stats.find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(member_keys(*trace), (std::vector<std::string>{"active", "path"}));
+  EXPECT_FALSE(trace->bool_or("active", true));
+}
+
+std::map<std::string, std::int64_t> counters_of(const obs::JsonValue& stats) {
+  const obs::JsonValue* counters = stats.find("counters");
+  EXPECT_NE(counters, nullptr);
+  std::map<std::string, std::int64_t> values;
+  if (counters != nullptr)
+    for (const auto& [key, value] : counters->members())
+      values[key] = static_cast<std::int64_t>(value.as_number());
+  return values;
+}
+
+// The determinism split the stats verb promises: its latency/gauge fields
+// are measurement-only, but the obs counter DELTAS a transcript produces
+// are part of the determinism contract -- identical at jobs=1 and jobs=4
+// even with stats requests racing mid-transcript.
+TEST(ServiceTest, StatsCounterDeltasBitIdenticalAcrossJobs) {
+  const lib::Library library = lib::make_default_library();
+  benchgen::GeneratedDesign generated = reference_design(library);
+  sta::SkewMap skew;
+  util::Rng rng(404);
+
+  std::vector<std::string> transcript;
+  std::int64_t id = 1;
+  for (const char* session : {"a", "b"})
+    transcript.push_back(open_request(id++, session));
+  for (int burst = 0; burst < 6; ++burst) {
+    for (const char* session : {"a", "b"}) {
+      transcript.push_back(edits_request(
+          id++, session, mutate_reference(generated.design, skew, rng)));
+      transcript.push_back(query_request(id++, session, {}, {}));
+    }
+    if (burst == 3)  // stats racing mid-transcript must not perturb deltas
+      transcript.push_back("{\"id\":" + std::to_string(id++) +
+                           ",\"cmd\":\"stats\"}");
+  }
+
+  const auto run_at = [&](int jobs) {
+    service::DaemonOptions options;
+    options.jobs = jobs;
+    service::Daemon daemon(library, options);
+    const std::map<std::string, std::int64_t> before =
+        counters_of(parse_ok(daemon.handle_sync("{\"id\":0,\"cmd\":\"stats\"}")));
+    run_transcript(daemon, transcript);
+    const std::map<std::string, std::int64_t> after =
+        counters_of(parse_ok(daemon.handle_sync("{\"id\":0,\"cmd\":\"stats\"}")));
+    std::map<std::string, std::int64_t> delta;
+    for (const auto& [key, value] : after)
+      delta[key] = value - (before.contains(key) ? before.at(key) : 0);
+    return delta;
+  };
+
+  const auto serial = run_at(1);
+  const auto pooled = run_at(4);
+  EXPECT_EQ(serial, pooled);
+  EXPECT_GT(serial.at("service.edits.applied"), 0);
+}
+
+// A live-traced run that ends via shutdown (not trace_stop) must keep the
+// tail of the trace: shutdown flushes the tracer before the daemon dies.
+TEST(ServiceTest, ShutdownFlushesActiveTrace) {
+  const std::string trace_path =
+      testing::TempDir() + "service_trace_shutdown.json";
+  std::remove(trace_path.c_str());
+  const lib::Library library = lib::make_default_library();
+  {
+    service::DaemonOptions options;
+    options.jobs = 4;
+    service::Daemon daemon(library, options);
+    parse_ok(daemon.handle_sync(open_request(1, "s")));
+    parse_ok(daemon.handle_sync("{\"id\":2,\"cmd\":\"trace_start\",\"path\":\"" +
+                                trace_path + "\"}"));
+    parse_ok(daemon.handle_sync(query_request(3, "s", {}, {})));
+    parse_ok(daemon.handle_sync("{\"id\":4,\"cmd\":\"shutdown\"}"));
+    // Flushed by the shutdown request itself, not the destructor: the
+    // file is complete before the daemon object goes away.
+    EXPECT_FALSE(daemon.finish_trace());
+  }
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << trace_path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const obs::JsonParseResult parsed = obs::parse_json(buffer.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const obs::JsonValue* events = parsed.value.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_FALSE(events->array().empty());
+  std::remove(trace_path.c_str());
+}
+
+// Same contract when the transport tears the daemon down: a socket server
+// whose accept loop exits on idle timeout flushes the live trace too.
+TEST(ServiceTest, IdleTimeoutTeardownFlushesActiveTrace) {
+  const std::string trace_path =
+      testing::TempDir() + "service_trace_idle.json";
+  std::remove(trace_path.c_str());
+  const lib::Library library = lib::make_default_library();
+  service::DaemonOptions options;
+  options.jobs = 2;
+  service::Daemon daemon(library, options);
+  parse_ok(daemon.handle_sync(open_request(1, "s")));
+  parse_ok(daemon.handle_sync("{\"id\":2,\"cmd\":\"trace_start\",\"path\":\"" +
+                              trace_path + "\"}"));
+  parse_ok(daemon.handle_sync(query_request(3, "s", {}, {})));
+
+  service::SocketServerOptions server_options;
+  server_options.path = testing::TempDir() + "service_trace_idle.sock";
+  server_options.poll_interval_ms = 5;
+  server_options.idle_timeout_seconds = 0.05;
+  service::SocketServer server(daemon, server_options);
+  ASSERT_TRUE(server.start()) << server.error();
+  server.run();  // no client ever connects; returns via the idle timeout
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << trace_path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const obs::JsonParseResult parsed = obs::parse_json(buffer.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_FALSE(daemon.finish_trace());  // already flushed by the teardown
+  std::remove(trace_path.c_str());
+}
+
+// The always-on flight recorder answers "what led up to this?": plant a
+// placement-legality failure (two registers moved onto the same spot),
+// issue a placement check, and the daemon must leave a dump whose recent
+// events name the failing session's request/edit history.
+TEST(ServiceTest, FlightRecorderDumpsOnPlantedCheckerFailure) {
+  const std::string dump_path = testing::TempDir() + "service_flight.json";
+  std::remove(dump_path.c_str());
+  const lib::Library library = lib::make_default_library();
+  service::DaemonOptions options;
+  options.flight_dump_path = dump_path;
+  service::Daemon daemon(library, options);
+  parse_ok(daemon.handle_sync(open_request(1, "victim")));
+
+  benchgen::GeneratedDesign generated = reference_design(library);
+  std::vector<netlist::CellId> movable;
+  for (netlist::CellId reg : generated.design.registers())
+    if (!generated.design.cell(reg).fixed) movable.push_back(reg);
+  ASSERT_GE(movable.size(), 2u);
+
+  // Enough traffic that the dump can name the last >= 32 events.
+  std::int64_t id = 2;
+  for (int i = 0; i < 40; ++i) {
+    RecordedEdit e{RecordedEdit::Op::kSkew, movable[0]};
+    e.skew = 0.001 * (i + 1);
+    parse_ok(daemon.handle_sync(edits_request(id++, "victim", {e})));
+  }
+  for (netlist::CellId reg : {movable[0], movable[1]}) {
+    RecordedEdit e{RecordedEdit::Op::kMove, reg};
+    e.x = generated.design.core().xlo;
+    e.y = generated.design.core().ylo;
+    parse_ok(daemon.handle_sync(edits_request(id++, "victim", {e})));
+  }
+
+  const std::string response = daemon.handle_sync(
+      "{\"id\":99,\"cmd\":\"check\",\"session\":\"victim\","
+      "\"placement\":true}");
+  const obs::JsonParseResult parsed = obs::parse_json(response);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_FALSE(parsed.value.bool_or("ok", true)) << response;
+  EXPECT_EQ(parsed.value.string_or("flight_dump", ""), dump_path);
+
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << dump_path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const obs::JsonParseResult dump = obs::parse_json(buffer.str());
+  ASSERT_TRUE(dump.ok) << dump.error;
+  EXPECT_EQ(dump.value.string_or("kind", ""), "flight_recorder");
+  EXPECT_EQ(dump.value.string_or("trigger", ""), "checker failure");
+  const obs::JsonValue* events = dump.value.find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GE(events->array().size(), 32u);
+  std::size_t on_strand = 0;
+  for (const obs::JsonValue& event : events->array())
+    if (event.string_or("detail", "").rfind("victim", 0) == 0) ++on_strand;
+  EXPECT_GE(on_strand, 32u);
+  std::remove(dump_path.c_str());
 }
 
 }  // namespace

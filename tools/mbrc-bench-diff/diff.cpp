@@ -1,0 +1,200 @@
+#include "diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mbrc::benchdiff {
+
+namespace {
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_regression(Direction direction, double before, double after,
+                   double threshold) {
+  switch (direction) {
+    case Direction::kHigherBetter:
+      // A zero baseline cannot shrink; anything above it only improved.
+      return before > 0.0 && after < before * (1.0 - threshold);
+    case Direction::kLowerBetter:
+      // From a zero baseline (e.g. errors: 0) ANY increase is a
+      // regression -- there is no percentage of zero to allow.
+      if (before == 0.0) return after > 0.0;
+      return after > before * (1.0 + threshold);
+    case Direction::kInfo:
+      return false;
+  }
+  return false;
+}
+
+struct Walker {
+  const DiffOptions& options;
+  DiffReport& report;
+
+  void mismatch(const std::string& what) {
+    if (report.schema_ok) {
+      report.schema_ok = false;
+      report.error = what;
+    }
+  }
+
+  void leaf(const std::string& path, std::string_view name, double before,
+            double after) {
+    MetricDelta d;
+    d.path = path;
+    d.before = before;
+    d.after = after;
+    d.direction = classify_metric(name);
+    d.regressed =
+        is_regression(d.direction, before, after, options.threshold);
+    report.metrics.push_back(std::move(d));
+  }
+
+  void walk(const std::string& path, std::string_view name,
+            const obs::JsonValue& before, const obs::JsonValue& after) {
+    if (before.kind() != after.kind()) {
+      mismatch(path + ": value kind changed");
+      return;
+    }
+    switch (before.kind()) {
+      case obs::JsonValue::Kind::kNumber:
+        leaf(path, name, before.as_number(), after.as_number());
+        return;
+      case obs::JsonValue::Kind::kObject:
+        walk_object(path, before, after);
+        return;
+      case obs::JsonValue::Kind::kArray:
+        walk_array(path, before, after);
+        return;
+      case obs::JsonValue::Kind::kString:
+      case obs::JsonValue::Kind::kBool:
+      case obs::JsonValue::Kind::kNull:
+        // Config echo (profile names, flags). Divergence here means the
+        // two runs measured different setups -- a mismatch, not a delta.
+        if (before.is_string() && before.as_string() != after.as_string())
+          mismatch(path + ": \"" + before.as_string() + "\" vs \"" +
+                   after.as_string() + "\"");
+        else if (before.is_bool() && before.as_bool() != after.as_bool())
+          mismatch(path + ": flag changed");
+        return;
+    }
+  }
+
+  void walk_object(const std::string& path, const obs::JsonValue& before,
+                   const obs::JsonValue& after) {
+    for (const auto& [key, value] : before.members()) {
+      const obs::JsonValue* other = after.find(key);
+      if (other == nullptr) {
+        // Fields only ever grow; one that vanished means the artifacts
+        // are from incompatible bench versions.
+        mismatch(path.empty() ? key + ": missing in after"
+                              : path + "." + key + ": missing in after");
+        continue;
+      }
+      walk(path.empty() ? key : path + "." + key, key, value, *other);
+    }
+    // Keys only in `after` are new metrics: fine, nothing to compare.
+  }
+
+  void walk_array(const std::string& path, const obs::JsonValue& before,
+                  const obs::JsonValue& after) {
+    // Arrays of named objects (the "configs" convention) pair by name, so
+    // reordering or appending configurations never misaligns the diff.
+    const bool named = !before.array().empty() &&
+                       before.array().front().find("name") != nullptr;
+    if (named) {
+      for (const obs::JsonValue& element : before.array()) {
+        const std::string name = element.string_or("name", "");
+        const obs::JsonValue* other = nullptr;
+        for (const obs::JsonValue& candidate : after.array())
+          if (candidate.string_or("name", "") == name) {
+            other = &candidate;
+            break;
+          }
+        if (other == nullptr) {
+          mismatch(path + "[" + name + "]: missing in after");
+          continue;
+        }
+        walk(path + "[" + name + "]", name, element, *other);
+      }
+      return;
+    }
+    // Bare number arrays are per-repetition samples: their order encodes
+    // noise windows, not identity, so they carry no comparable metric.
+  }
+};
+
+}  // namespace
+
+Direction classify_metric(std::string_view name) {
+  if (ends_with(name, "per_second") || ends_with(name, "speedup"))
+    return Direction::kHigherBetter;
+  if (ends_with(name, "_us") || ends_with(name, "_ns") ||
+      ends_with(name, "_seconds") || name == "p50" || name == "p95" ||
+      name == "p99" || name == "errors")
+    return Direction::kLowerBetter;
+  return Direction::kInfo;
+}
+
+std::size_t DiffReport::regression_count() const {
+  std::size_t n = 0;
+  for (const MetricDelta& m : metrics)
+    if (m.regressed) ++n;
+  return n;
+}
+
+DiffReport diff_benchmarks(const obs::JsonValue& before,
+                           const obs::JsonValue& after,
+                           const DiffOptions& options) {
+  DiffReport report;
+  Walker walker{options, report};
+  if (!before.is_object() || !after.is_object()) {
+    walker.mismatch("top level is not an object");
+    return report;
+  }
+  // Identity gate: comparing different benches (or schema revisions) is a
+  // usage error, not a sea of bogus deltas.
+  if (before.int_or("schema", -1) != after.int_or("schema", -1)) {
+    walker.mismatch("\"schema\" differs");
+    return report;
+  }
+  if (before.string_or("bench", "") != after.string_or("bench", "")) {
+    walker.mismatch("\"bench\" differs");
+    return report;
+  }
+  walker.walk_object("", before, after);
+  return report;
+}
+
+std::string format_report(const DiffReport& report,
+                          const DiffOptions& options) {
+  std::ostringstream os;
+  char line[256];
+  for (const MetricDelta& m : report.metrics) {
+    const double change =
+        m.before != 0.0 ? (m.after - m.before) / m.before * 100.0
+        : m.after != 0.0 ? (m.after > 0.0 ? 100.0 : -100.0)
+                         : 0.0;
+    const char* tag = m.regressed ? "  REGRESSION"
+                      : m.direction == Direction::kInfo ? "  (info)"
+                                                        : "";
+    std::snprintf(line, sizeof(line), "%-56s %14.4g %14.4g %+8.1f%%%s\n",
+                  m.path.c_str(), m.before, m.after, change, tag);
+    os << line;
+  }
+  if (!report.schema_ok) {
+    os << "schema mismatch: " << report.error << '\n';
+  } else {
+    const std::size_t n = report.regression_count();
+    std::snprintf(line, sizeof(line),
+                  "%zu metric(s), %zu regression(s) past %.0f%%\n",
+                  report.metrics.size(), n, options.threshold * 100.0);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace mbrc::benchdiff

@@ -1,0 +1,72 @@
+// Schema-aware comparison of two BENCH_*.json artifacts (the files the
+// bench/ binaries write): walks both documents in parallel, pairs metrics
+// by their dotted path -- with "configs"-style arrays matched by each
+// element's "name", not by index -- and classifies every numeric leaf by
+// what its name says about direction:
+//
+//   higher-better  *_per_second, *speedup          (throughput)
+//   lower-better   *_us/_ns/_seconds, p50/p95/p99, errors   (latency, cost)
+//   info           everything else (config echo, sample arrays, gauges)
+//
+// A directional metric that moved past the threshold the wrong way is a
+// regression. Info metrics are reported but never gate. The comparison is
+// generic over the BENCH schema conventions (see DESIGN.md), so one tool
+// covers every bench artifact in the repo without per-bench glue.
+//
+// The engine is a library so tests/bench_diff_test.cpp can drive it over
+// in-memory documents; the CLI (main.cpp) is a thin file wrapper.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json_reader.hpp"
+
+namespace mbrc::benchdiff {
+
+enum class Direction { kHigherBetter, kLowerBetter, kInfo };
+
+/// What a metric's path component says about which way is good. Exposed
+/// for tests; `name` is the final path component ("edits_per_second").
+Direction classify_metric(std::string_view name);
+
+struct MetricDelta {
+  std::string path;   // dotted, arrays by element name: configs[serial].p50
+  double before = 0.0;
+  double after = 0.0;
+  Direction direction = Direction::kInfo;
+  bool regressed = false;
+};
+
+struct DiffOptions {
+  /// Fractional move in the bad direction that counts as a regression:
+  /// 0.10 means throughput down >10% or latency up >10%.
+  double threshold = 0.10;
+};
+
+struct DiffReport {
+  /// False on structural mismatch: different "schema"/"bench" identity,
+  /// a metric present before but missing after, or an array element whose
+  /// name pairing failed. `error` says which. Metrics collected before the
+  /// mismatch are still reported.
+  bool schema_ok = true;
+  std::string error;
+  std::vector<MetricDelta> metrics;
+
+  std::size_t regression_count() const;
+};
+
+/// Compares two parsed bench documents. Keys present only in `after` are
+/// new metrics and are fine (benches grow fields); keys that disappeared
+/// are a schema mismatch.
+DiffReport diff_benchmarks(const obs::JsonValue& before,
+                           const obs::JsonValue& after,
+                           const DiffOptions& options = {});
+
+/// Human-readable report: one line per metric (path, before, after, signed
+/// % change, REGRESSION marker), then a summary line.
+std::string format_report(const DiffReport& report,
+                          const DiffOptions& options);
+
+}  // namespace mbrc::benchdiff

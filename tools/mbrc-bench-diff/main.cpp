@@ -1,0 +1,80 @@
+// mbrc-bench-diff: compare two BENCH_*.json artifacts and gate on
+// regressions.
+//
+//   mbrc-bench-diff [--threshold FRACTION] OLD.json NEW.json
+//
+// Prints one line per paired metric (path, before, after, % change) with
+// directional metrics marked REGRESSION when they moved past the threshold
+// the wrong way (default 0.10 = 10%). Exit status: 0 when no directional
+// metric regressed; 1 when at least one did; 2 on usage errors, unreadable
+// or unparseable input, or a schema mismatch between the two artifacts.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "diff.hpp"
+#include "obs/json_reader.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mbrc-bench-diff [--threshold FRACTION] OLD.json "
+               "NEW.json\n");
+  return 2;
+}
+
+bool load_json(const std::string& path, mbrc::obs::JsonValue& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "mbrc-bench-diff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const mbrc::obs::JsonParseResult parsed =
+      mbrc::obs::parse_json(buffer.str());
+  if (!parsed.ok) {
+    std::fprintf(stderr, "mbrc-bench-diff: %s: %s (at byte %zu)\n",
+                 path.c_str(), parsed.error.c_str(), parsed.position);
+    return false;
+  }
+  out = parsed.value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mbrc::benchdiff::DiffOptions options;
+  std::string old_path;
+  std::string new_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold") {
+      if (i + 1 >= argc) return usage();
+      options.threshold = std::atof(argv[++i]);
+      if (options.threshold < 0.0) return usage();
+    } else if (old_path.empty()) {
+      old_path = arg;
+    } else if (new_path.empty()) {
+      new_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (new_path.empty()) return usage();
+
+  mbrc::obs::JsonValue before;
+  mbrc::obs::JsonValue after;
+  if (!load_json(old_path, before) || !load_json(new_path, after)) return 2;
+
+  const mbrc::benchdiff::DiffReport report =
+      mbrc::benchdiff::diff_benchmarks(before, after, options);
+  std::fputs(mbrc::benchdiff::format_report(report, options).c_str(),
+             stdout);
+  if (!report.schema_ok) return 2;
+  return report.regression_count() > 0 ? 1 : 0;
+}

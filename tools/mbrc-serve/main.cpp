@@ -1,7 +1,7 @@
 // mbrc-serve: the composition daemon CLI.
 //
 //   mbrc-serve [--jobs N] [--socket PATH] [--idle-timeout SECONDS]
-//              [--check-level off|stage|paranoid]
+//              [--check-level off|stage|paranoid] [--flight-dump PATH]
 //
 // Default transport is stdio: newline-delimited JSON requests on stdin, one
 // response line each on stdout (diagnostics go to stderr). With --socket,
@@ -10,12 +10,25 @@
 // connections. The process exits on a {"cmd": "shutdown"} request, stdin
 // EOF (stdio mode), or the idle timeout (socket mode).
 //
-// See DESIGN.md §12 for the protocol grammar and determinism contract.
+// Crash post-mortems: the always-on flight recorder (src/obs) is dumped to
+// --flight-dump PATH (default mbrc-serve-flight.json; empty string
+// disables) on checker failures and protocol errors, and on SIGSEGV or
+// SIGABRT via an async-signal-safe handler that also writes the dump to
+// stderr before re-raising the signal.
+//
+// See DESIGN.md §11 for the live-telemetry model (stats, trace_start/stop,
+// flight dumps) and §12 for the protocol grammar and determinism contract.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "lib/library.hpp"
+#include "obs/flight_recorder.hpp"
 #include "service/daemon.hpp"
 #include "service/socket_server.hpp"
 
@@ -24,14 +37,54 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--jobs N] [--socket PATH] [--idle-timeout SECONDS]"
-               " [--check-level off|stage|paranoid]\n";
+               " [--check-level off|stage|paranoid] [--flight-dump PATH]\n";
   return 2;
+}
+
+// Fixed storage so the signal handler never touches a std::string.
+char g_flight_path[512] = "";
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    default: return "signal";
+  }
+}
+
+// Async-signal-safe: the flight recorder's fd dump uses only atomics,
+// snprintf into stack buffers and write(2). Re-raises with the default
+// disposition so the exit status still reports the crash.
+void crash_handler(int sig) {
+  const char* name = signal_name(sig);
+  mbrc::obs::flight::dump_to_fd(STDERR_FILENO, name);
+  if (g_flight_path[0] != '\0') {
+    const int fd =
+        ::open(g_flight_path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd >= 0) {
+      mbrc::obs::flight::dump_to_fd(fd, name);
+      ::close(fd);
+    }
+  }
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void install_crash_handler(const std::string& flight_path) {
+  std::strncpy(g_flight_path, flight_path.c_str(),
+               sizeof(g_flight_path) - 1);
+  g_flight_path[sizeof(g_flight_path) - 1] = '\0';
+  std::signal(SIGSEGV, crash_handler);
+  std::signal(SIGABRT, crash_handler);
+  std::signal(SIGBUS, crash_handler);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   mbrc::service::DaemonOptions options;
+  options.flight_dump_path = "mbrc-serve-flight.json";
   std::string socket_path;
   double idle_timeout = 0.0;
   std::string check_level;
@@ -57,6 +110,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       check_level = v;
+    } else if (arg == "--flight-dump") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.flight_dump_path = v;
     } else {
       return usage(argv[0]);
     }
@@ -70,6 +127,9 @@ int main(int argc, char** argv) {
   } else if (!check_level.empty() && check_level != "off") {
     return usage(argv[0]);
   }
+
+  install_crash_handler(options.flight_dump_path);
+  mbrc::obs::flight::set_thread_label("serve");
 
   const mbrc::lib::Library library = mbrc::lib::make_default_library();
   mbrc::service::Daemon daemon(library, options);
